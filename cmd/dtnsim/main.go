@@ -1,0 +1,83 @@
+// Command dtnsim runs one DTN scenario and prints a full metrics report.
+//
+// Example:
+//
+//	dtnsim -protocol EER -nodes 120 -duration 10000 -lambda 10 -seeds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "EER", "protocol: EER, CR, EBR, MaxProp, SprayAndWait, SprayAndFocus, Epidemic, Prophet, Direct, FirstContact, EER-fixedEV, EER-meanMD")
+		nodes    = flag.Int("nodes", 120, "number of nodes")
+		duration = flag.Float64("duration", 10000, "simulated seconds")
+		lambda   = flag.Int("lambda", 10, "initial replica quota λ")
+		alpha    = flag.Float64("alpha", 0.28, "EEV/ENEC horizon scale α")
+		ttl      = flag.Float64("ttl", 1200, "message TTL in seconds")
+		bufKB    = flag.Int("buffer", 1024, "buffer size in KB")
+		msgKB    = flag.Int("msgsize", 25, "message size in KB")
+		tick     = flag.Float64("tick", 0.25, "simulation tick in seconds")
+		seeds    = flag.Int("seeds", 1, "number of seeds to average")
+		seed     = flag.Int64("seed", 1, "base seed (used when -seeds 1)")
+		mobility = flag.String("mobility", "bus", "mobility model: bus or rwp")
+		verbose  = flag.Bool("v", false, "print per-seed summaries")
+	)
+	flag.Parse()
+
+	s := experiment.Default()
+	s.Protocol = experiment.Protocol(*protocol)
+	s.Nodes = *nodes
+	s.Duration = *duration
+	s.Lambda = *lambda
+	s.Alpha = *alpha
+	s.TTL = *ttl
+	s.BufBytes = *bufKB * 1024
+	s.MsgSize = *msgKB * 1024
+	s.Tick = *tick
+	s.Mobility = *mobility
+	s.Seed = *seed
+
+	start := time.Now()
+	var sums []metrics.Summary
+	if *seeds <= 1 {
+		sums = []metrics.Summary{s.Run()}
+	} else {
+		sums = experiment.RunSeeds(s, experiment.Seeds(*seeds))
+	}
+	elapsed := time.Since(start)
+
+	if *verbose {
+		for i, sum := range sums {
+			fmt.Printf("seed %d: %s\n", i+1, sum)
+		}
+	}
+	mean := metrics.Mean(sums)
+	fmt.Printf("protocol=%s nodes=%d duration=%.0fs lambda=%d alpha=%.2f seeds=%d\n",
+		*protocol, *nodes, *duration, *lambda, *alpha, len(sums))
+	fmt.Println(strings.Repeat("-", 64))
+	fmt.Printf("delivery ratio   %.3f\n", mean.DeliveryRatio)
+	fmt.Printf("avg latency      %.1f s (median %.1f s)\n", mean.AvgLatency, mean.MedianLatency)
+	fmt.Printf("goodput          %.4f\n", mean.Goodput)
+	fmt.Printf("overhead ratio   %.2f\n", mean.OverheadRatio)
+	fmt.Printf("avg hops         %.2f\n", mean.AvgHops)
+	fmt.Printf("generated        %d\n", mean.Generated)
+	fmt.Printf("delivered        %d\n", mean.Delivered)
+	fmt.Printf("relays           %d\n", mean.Relays)
+	fmt.Printf("drops            %d  aborts %d  expiries %d\n", mean.Drops, mean.Aborts, mean.Expired)
+	fmt.Printf("contacts         %d\n", mean.Contacts)
+	fmt.Printf("wall time        %s\n", elapsed.Round(time.Millisecond))
+	if mean.Generated == 0 {
+		fmt.Fprintln(os.Stderr, "warning: no messages generated")
+		os.Exit(1)
+	}
+}

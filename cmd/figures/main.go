@@ -1,0 +1,204 @@
+// Command figures regenerates every figure of the paper's evaluation
+// (Section V) as aligned tables and optional CSV:
+//
+//	Figure 2 — EER, CR, EBR, MaxProp, Spray-and-Wait, Spray-and-Focus
+//	           across node counts (delivery ratio, latency, goodput)
+//	Figure 3 — EER with λ ∈ {6,8,10,12}
+//	Figure 4 — CR with λ ∈ {6,8,10,12}
+//	A1      — EER vs TTL-independent-EEV ablation
+//	A2      — EER vs mean-interval-MD (MEED-style) ablation
+//	A3      — EER forwarding-hysteresis sweep (estimator-noise ping-pong)
+//
+// Full paper parameters take tens of minutes; -quick runs a reduced but
+// shape-preserving sweep in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "which figure: 2, 3, 4, a1, a2, a3 or all")
+		seeds  = flag.Int("seeds", 5, "seeds per data point (paper used 10)")
+		quick  = flag.Bool("quick", false, "reduced sweep: fewer nodes, 4000 s runs, 2 seeds")
+		csv    = flag.String("csv", "", "also write CSV data to this file prefix (e.g. fig)")
+		nodes  = flag.String("nodes", "", "override node counts, comma-separated")
+		outDur = flag.Float64("duration", 10000, "simulated seconds per run")
+	)
+	flag.Parse()
+
+	base := experiment.Default()
+	base.Duration = *outDur
+	counts := []int{40, 80, 120, 160, 200, 240}
+	if *quick {
+		base.Duration = 4000
+		base.Tick = 0.5
+		counts = []int{40, 120, 200}
+		if !flagSet("seeds") {
+			*seeds = 2
+		}
+	}
+	if *nodes != "" {
+		counts = parseInts(*nodes)
+	}
+
+	start := time.Now()
+	switch *fig {
+	case "2":
+		figure2(base, counts, *seeds, *csv)
+	case "3":
+		figureLambda(base, experiment.EER, "Figure 3 (EER)", counts, *seeds, *csv)
+	case "4":
+		figureLambda(base, experiment.CR, "Figure 4 (CR)", counts, *seeds, *csv)
+	case "a1":
+		ablation(base, "Ablation A1 (TTL-aware EEV)", []experiment.Protocol{experiment.EER, experiment.EERFixedEV}, counts, *seeds, *csv)
+	case "a2":
+		ablation(base, "Ablation A2 (elapsed-conditioned EMD)", []experiment.Protocol{experiment.EER, experiment.EERMeanMD}, counts, *seeds, *csv)
+	case "a3":
+		hysteresis(base, counts, *seeds, *csv)
+	case "all":
+		figure2(base, counts, *seeds, *csv)
+		figureLambda(base, experiment.EER, "Figure 3 (EER)", counts, *seeds, *csv)
+		figureLambda(base, experiment.CR, "Figure 4 (CR)", counts, *seeds, *csv)
+		ablation(base, "Ablation A1 (TTL-aware EEV)", []experiment.Protocol{experiment.EER, experiment.EERFixedEV}, counts, *seeds, *csv)
+		ablation(base, "Ablation A2 (elapsed-conditioned EMD)", []experiment.Protocol{experiment.EER, experiment.EERMeanMD}, counts, *seeds, *csv)
+		hysteresis(base, counts, *seeds, *csv)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Second))
+}
+
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range splitComma(s) {
+		var v int
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
+			fmt.Fprintf(os.Stderr, "bad node count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(out, cur)
+}
+
+func emit(title string, series []experiment.Series, csvPrefix, suffix string) {
+	for _, m := range experiment.PaperMetrics {
+		experiment.RenderTable(os.Stdout, title, "nodes", series, m)
+	}
+	if csvPrefix != "" {
+		path := csvPrefix + suffix + ".csv"
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+		experiment.WriteCSV(f, "nodes", series, experiment.PaperMetrics)
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// figure2 reproduces the six-protocol comparison.
+func figure2(base experiment.Scenario, counts []int, seeds int, csvPrefix string) {
+	var series []experiment.Series
+	for _, p := range experiment.AllPaperProtocols {
+		s := base
+		s.Protocol = p
+		fmt.Fprintf(os.Stderr, "figure 2: %s...\n", p)
+		series = append(series, experiment.NodeSweep(s, counts, seeds))
+	}
+	emit("Figure 2 — protocol comparison (λ=10)", series, csvPrefix, "2")
+}
+
+// figureLambda reproduces the λ sensitivity figures (3 for EER, 4 for CR).
+func figureLambda(base experiment.Scenario, p experiment.Protocol, title string, counts []int, seeds int, csvPrefix string) {
+	var series []experiment.Series
+	for _, lambda := range []int{6, 8, 10, 12} {
+		s := base
+		s.Protocol = p
+		s.Lambda = lambda
+		fmt.Fprintf(os.Stderr, "%s: λ=%d...\n", title, lambda)
+		se := experiment.NodeSweep(s, counts, seeds)
+		se.Name = fmt.Sprintf("λ=%d", lambda)
+		series = append(series, se)
+	}
+	suffix := "3"
+	if p == experiment.CR {
+		suffix = "4"
+	}
+	emit(title+" — effect of λ", series, csvPrefix, suffix)
+}
+
+// ablation compares EER against one of its ablated variants.
+func ablation(base experiment.Scenario, title string, ps []experiment.Protocol, counts []int, seeds int, csvPrefix string) {
+	var series []experiment.Series
+	for _, p := range ps {
+		s := base
+		s.Protocol = p
+		fmt.Fprintf(os.Stderr, "%s: %s...\n", title, p)
+		series = append(series, experiment.NodeSweep(s, counts, seeds))
+	}
+	emit(title, series, csvPrefix, "_"+string(ps[len(ps)-1]))
+}
+
+// hysteresis sweeps the single-copy forwarding hysteresis (A3), using the
+// middle node count.
+func hysteresis(base experiment.Scenario, counts []int, seeds int, csvPrefix string) {
+	n := counts[len(counts)/2]
+	var series []experiment.Series
+	se := experiment.Sweep1D("EER", withNodes(base, n), []float64{0, 30, 60, 120, 300}, func(s *experiment.Scenario, v float64) {
+		s.ForwardHysteresis = v
+	}, seeds)
+	series = append(series, se)
+	for _, m := range experiment.PaperMetrics {
+		experiment.RenderTable(os.Stdout, fmt.Sprintf("Ablation A3 — forwarding hysteresis (n=%d)", n), "hysteresis (s)", series, m)
+	}
+	if csvPrefix != "" {
+		path := csvPrefix + "_a3.csv"
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+		experiment.WriteCSV(f, "hysteresis_s", series, experiment.PaperMetrics)
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+func withNodes(s experiment.Scenario, n int) experiment.Scenario {
+	s.Nodes = n
+	return s
+}

@@ -1,0 +1,69 @@
+// Command sweep explores the parameters the paper omitted "due to the
+// space limitation" (Section V-B): the horizon scale α, the message TTL,
+// the buffer size and the history window, each as a 1-D sweep at a fixed
+// node count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		param    = flag.String("param", "alpha", "parameter to sweep: alpha, ttl, buffer, window, lambda")
+		protocol = flag.String("protocol", "EER", "protocol under test")
+		nodes    = flag.Int("nodes", 120, "node count")
+		seeds    = flag.Int("seeds", 3, "seeds per point")
+		duration = flag.Float64("duration", 6000, "simulated seconds")
+	)
+	flag.Parse()
+
+	base := experiment.Default()
+	base.Protocol = experiment.Protocol(*protocol)
+	base.Nodes = *nodes
+	base.Duration = *duration
+
+	var (
+		values []float64
+		set    func(*experiment.Scenario, float64)
+		label  string
+	)
+	switch *param {
+	case "alpha":
+		values = []float64{0.1, 0.2, 0.28, 0.4, 0.6, 0.8, 1.0}
+		set = func(s *experiment.Scenario, v float64) { s.Alpha = v }
+		label = "alpha"
+	case "ttl":
+		values = []float64{300, 600, 1200, 2400, 3600}
+		set = func(s *experiment.Scenario, v float64) { s.TTL = v }
+		label = "TTL (s)"
+	case "buffer":
+		values = []float64{128, 256, 512, 1024, 2048} // KB
+		set = func(s *experiment.Scenario, v float64) { s.BufBytes = int(v) * 1024 }
+		label = "buffer (KB)"
+	case "window":
+		values = []float64{4, 8, 16, 32, 64}
+		set = func(s *experiment.Scenario, v float64) { s.Window = int(v) }
+		label = "window"
+	case "lambda":
+		values = []float64{2, 4, 6, 8, 10, 12, 16}
+		set = func(s *experiment.Scenario, v float64) { s.Lambda = int(v) }
+		label = "lambda"
+	default:
+		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	series := []experiment.Series{experiment.Sweep1D(*protocol, base, values, set, *seeds)}
+	title := fmt.Sprintf("Sweep %s (%s, n=%d)", label, *protocol, *nodes)
+	for _, m := range experiment.PaperMetrics {
+		experiment.RenderTable(os.Stdout, title, label, series, m)
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Second))
+}

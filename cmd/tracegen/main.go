@@ -1,0 +1,108 @@
+// Command tracegen records the contact trace of a scenario to a file (or
+// stdout) and prints summary statistics — contact rate and contact
+// duration quantiles — so a scenario's contact regime can be inspected and
+// replayed with internal/trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiment"
+	"repro/internal/msg"
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// recorder is a passive router that feeds the trace recorder. Each node
+// reports only pairs where it has the lower id, so episodes appear once.
+type recorder struct {
+	self *network.Node
+	rec  *trace.Recorder
+}
+
+func (r *recorder) Init(self *network.Node, _ *network.World)         {}
+func (r *recorder) InitialReplicas(*msg.Message) int                  { return 1 }
+func (r *recorder) Created(float64, *msg.Copy)                        {}
+func (r *recorder) Received(float64, *msg.Copy, *network.Node)        {}
+func (r *recorder) Sent(float64, *network.Plan, *network.Node, bool)  {}
+func (r *recorder) NextTransfer(float64, *network.Node) *network.Plan { return nil }
+
+func (r *recorder) ContactUp(t float64, peer *network.Node) {
+	if r.self.ID < peer.ID {
+		r.rec.Up(t, r.self.ID, peer.ID)
+	}
+}
+
+func (r *recorder) ContactDown(t float64, peer *network.Node) {
+	if r.self.ID < peer.ID {
+		r.rec.Down(t, r.self.ID, peer.ID)
+	}
+}
+
+// initSelf lets Init capture the node (split out so the struct literal in
+// main stays simple).
+func (r *recorder) bind(self *network.Node) { r.self = self }
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 120, "node count")
+		duration = flag.Float64("duration", 10000, "simulated seconds")
+		seed     = flag.Int64("seed", 1, "seed")
+		mobility = flag.String("mobility", "bus", "mobility model: bus or rwp")
+		out      = flag.String("o", "", "output file (default stdout; stats go to stderr)")
+	)
+	flag.Parse()
+
+	s := experiment.Default()
+	s.Nodes = *nodes
+	s.Duration = *duration
+	s.Seed = *seed
+	s.Mobility = *mobility
+
+	rec := trace.NewRecorder(*nodes)
+	w, runner := experiment.BuildBare(s, func(int) network.Router { return &recorder{rec: rec} })
+	for _, n := range w.Nodes() {
+		n.Router.(*recorder).bind(n)
+	}
+	runner.Run(s.Duration)
+	tr := rec.Finish(s.Duration)
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := tr.Write(dst); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	printStats(tr, s.Duration, *nodes)
+}
+
+func printStats(tr *trace.Trace, duration float64, n int) {
+	if len(tr.Contacts) == 0 {
+		fmt.Fprintln(os.Stderr, "no contacts recorded")
+		return
+	}
+	durs := make([]float64, 0, len(tr.Contacts))
+	sum := 0.0
+	for _, c := range tr.Contacts {
+		d := c.End - c.Start
+		durs = append(durs, d)
+		sum += d
+	}
+	sort.Float64s(durs)
+	q := func(p float64) float64 { return durs[int(p*float64(len(durs)-1))] }
+	fmt.Fprintf(os.Stderr, "contacts: %d over %.0fs, %.2f per node-hour\n",
+		len(tr.Contacts), duration, float64(len(tr.Contacts))*2*3600/(float64(n)*duration))
+	fmt.Fprintf(os.Stderr, "contact duration: mean %.1fs median %.1fs p90 %.1fs\n",
+		sum/float64(len(durs)), q(0.5), q(0.9))
+}

@@ -1,0 +1,119 @@
+// Package repro is a Go reproduction of Chen & Lou, "On Using Contact
+// Expectation for Routing in Delay Tolerant Networks" (ICPP 2011): the EER
+// and CR routing protocols, the baseline protocols they are evaluated
+// against, and a complete DTN simulator (mobility, contacts, buffers,
+// traffic, metrics) to run them in.
+//
+// This root package is the stable facade: scenario configuration,
+// execution, sweeps and the paper's contact-expectation estimators. The
+// implementation lives in internal/ packages (see DESIGN.md for the
+// inventory); examples/ and cmd/ show idiomatic use.
+//
+// Quick start:
+//
+//	s := repro.DefaultScenario()
+//	s.Protocol = repro.EER
+//	s.Nodes = 120
+//	fmt.Println(s.Run())
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+// Scenario is a complete run configuration: protocol, fleet size, paper
+// parameters (λ, α, TTL, buffer, radio), mobility and traffic.
+type Scenario = experiment.Scenario
+
+// Protocol names a routing protocol implementation.
+type Protocol = experiment.Protocol
+
+// Summary holds one run's metrics: the paper's delivery ratio, latency and
+// goodput plus auxiliary counters.
+type Summary = metrics.Summary
+
+// Series is a named sweep curve (one protocol across node counts, one λ
+// across the sweep, ...).
+type Series = experiment.Series
+
+// Metric selects one plotted quantity from a Summary.
+type Metric = experiment.Metric
+
+// History is a node's sliding-window contact history with the paper's
+// estimators: EEV (Theorem 1), EMD (Theorem 2) and ENEC (Theorem 4).
+type History = core.History
+
+// MeetingMatrix is the link-state MI matrix of average meeting intervals
+// with per-row freshness merge.
+type MeetingMatrix = core.MeetingMatrix
+
+// MEMD computes minimum expected meeting delays (Theorem 3) over an MD
+// matrix built from a History and a MeetingMatrix.
+type MEMD = core.MEMD
+
+// The protocols of the paper's evaluation plus extra references and
+// ablation variants.
+const (
+	EER           = experiment.EER
+	CR            = experiment.CR
+	EBR           = experiment.EBR
+	MaxProp       = experiment.MaxProp
+	SprayAndWait  = experiment.SprayAndWait
+	SprayAndFocus = experiment.SprayAndFocus
+	Epidemic      = experiment.Epidemic
+	Prophet       = experiment.Prophet
+	Direct        = experiment.Direct
+	FirstContact  = experiment.FirstContact
+	EERFixedEV    = experiment.EERFixedEV
+	EERMeanMD     = experiment.EERMeanMD
+)
+
+// PaperProtocols lists the six protocols of the paper's Figure 2 in plot
+// order.
+var PaperProtocols = experiment.AllPaperProtocols
+
+// The paper's three metrics, in sub-figure order (a, b, c).
+var (
+	MetricDeliveryRatio = experiment.MetricDeliveryRatio
+	MetricLatency       = experiment.MetricLatency
+	MetricGoodput       = experiment.MetricGoodput
+	PaperMetrics        = experiment.PaperMetrics
+)
+
+// DefaultScenario returns the paper's Section V-A configuration.
+func DefaultScenario() Scenario { return experiment.Default() }
+
+// QuickScenario returns a scaled-down configuration for fast exploration.
+func QuickScenario() Scenario { return experiment.Quick() }
+
+// RunSeeds executes a scenario once per seed, in parallel, returning the
+// per-seed summaries.
+func RunSeeds(s Scenario, seeds []int64) []Summary { return experiment.RunSeeds(s, seeds) }
+
+// RunAveraged executes a scenario over n seeds and returns the mean
+// summary.
+func RunAveraged(s Scenario, n int) Summary { return experiment.RunAveraged(s, n) }
+
+// Seeds returns the canonical seed list 1..n.
+func Seeds(n int) []int64 { return experiment.Seeds(n) }
+
+// NodeSweep runs a scenario at every node count, averaging seeds per
+// point.
+func NodeSweep(base Scenario, counts []int, nSeeds int) Series {
+	return experiment.NodeSweep(base, counts, nSeeds)
+}
+
+// MeanSummary averages summaries component-wise.
+func MeanSummary(ss []Summary) Summary { return metrics.Mean(ss) }
+
+// NewHistory returns an empty contact history for node self in a network
+// of n nodes with the given sliding-window size (0 = default).
+func NewHistory(self, n, window int) *History { return core.NewHistory(self, n, window) }
+
+// NewMeetingMatrix returns an all-unknown MI matrix over nodes 0..n-1.
+func NewMeetingMatrix(n int) *MeetingMatrix { return core.NewFullMeetingMatrix(n) }
+
+// NewMEMD returns a Theorem-3 calculator for matrices of the given size.
+func NewMEMD(size int) *MEMD { return core.NewMEMD(size) }

@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeScenarioRun exercises the public API end to end.
+func TestFacadeScenarioRun(t *testing.T) {
+	s := QuickScenario()
+	s.Protocol = SprayAndWait
+	s.Nodes = 24
+	s.Duration = 1000
+	sum := s.Run()
+	if sum.Generated == 0 || sum.Contacts == 0 {
+		t.Fatalf("facade run produced nothing: %+v", sum)
+	}
+}
+
+func TestFacadeSeedsAndMean(t *testing.T) {
+	if got := Seeds(3); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Seeds = %v", got)
+	}
+	m := MeanSummary([]Summary{{DeliveryRatio: 0.2}, {DeliveryRatio: 0.4}})
+	if math.Abs(m.DeliveryRatio-0.3) > 1e-12 {
+		t.Fatalf("MeanSummary = %+v", m)
+	}
+}
+
+// TestFacadeEstimators exercises the re-exported core types against the
+// Theorem-1/2 worked example.
+func TestFacadeEstimators(t *testing.T) {
+	h := NewHistory(0, 3, 0)
+	for _, ts := range []float64{100, 110, 130, 160, 200} {
+		h.RecordContact(1, ts)
+	}
+	if p := h.EncounterProb(1, 215, 10); math.Abs(p-1.0/3) > 1e-12 {
+		t.Errorf("EncounterProb = %g", p)
+	}
+	mi := NewMeetingMatrix(3)
+	mi.UpdateOwnRow(0, 200, h)
+	if v := mi.Interval(0, 1); v != 25 {
+		t.Errorf("Interval = %g", v)
+	}
+	calc := NewMEMD(3)
+	calc.Compute(0, 215, h, mi)
+	if d := calc.Delay(1); math.Abs(d-15) > 1e-9 {
+		t.Errorf("MEMD = %g", d)
+	}
+	if d := calc.Delay(2); !math.IsInf(d, 1) {
+		t.Errorf("MEMD to stranger = %g", d)
+	}
+}
+
+func TestFacadeProtocolList(t *testing.T) {
+	if len(PaperProtocols) != 6 {
+		t.Fatalf("PaperProtocols = %v", PaperProtocols)
+	}
+	if PaperProtocols[0] != EER || PaperProtocols[1] != CR {
+		t.Fatalf("PaperProtocols order = %v", PaperProtocols)
+	}
+	if len(PaperMetrics) != 3 {
+		t.Fatalf("PaperMetrics = %d", len(PaperMetrics))
+	}
+}

@@ -1,0 +1,185 @@
+// Package buffer implements the finite per-node message store with
+// pluggable drop policies. The paper's scenario gives each node 1 MB for
+// 25 KB messages; when an arriving copy does not fit, the policy selects
+// victims until it does (or the arrival itself is refused).
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+)
+
+// DropPolicy selects the next victim among the buffered copies when space
+// is needed. It returns an index into copies, which is non-empty. Policies
+// must be deterministic.
+type DropPolicy func(t float64, copies []*msg.Copy) int
+
+// DropOldestReceived evicts the copy held longest (FIFO) — the default, and
+// ONE's default.
+func DropOldestReceived(_ float64, copies []*msg.Copy) int {
+	best := 0
+	for i, c := range copies {
+		if c.ReceivedAt < copies[best].ReceivedAt {
+			best = i
+		}
+		_ = c
+	}
+	return best
+}
+
+// DropOldestCreated evicts the copy of the oldest message.
+func DropOldestCreated(_ float64, copies []*msg.Copy) int {
+	best := 0
+	for i, c := range copies {
+		if c.M.Created < copies[best].M.Created {
+			best = i
+		}
+	}
+	return best
+}
+
+// DropSoonestExpiry evicts the copy closest to expiry.
+func DropSoonestExpiry(_ float64, copies []*msg.Copy) int {
+	best := 0
+	for i, c := range copies {
+		if c.M.Expire < copies[best].M.Expire {
+			best = i
+		}
+	}
+	return best
+}
+
+// DropMostHops evicts the most-travelled copy (ties broken by older
+// arrival), a cheap proxy for "most replicated elsewhere".
+func DropMostHops(_ float64, copies []*msg.Copy) int {
+	best := 0
+	for i, c := range copies {
+		b := copies[best]
+		if c.Hops > b.Hops || (c.Hops == b.Hops && c.ReceivedAt < b.ReceivedAt) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Buffer is a byte-bounded store of message copies with deterministic
+// insertion-ordered iteration.
+type Buffer struct {
+	capacity int
+	used     int
+	policy   DropPolicy
+	byID     map[int]int // message id -> index in list
+	list     []*msg.Copy
+}
+
+// New returns a buffer of the given byte capacity. capacity <= 0 means
+// unbounded. A nil policy selects DropOldestReceived.
+func New(capacity int, policy DropPolicy) *Buffer {
+	if policy == nil {
+		policy = DropOldestReceived
+	}
+	return &Buffer{capacity: capacity, policy: policy, byID: make(map[int]int)}
+}
+
+// SetPolicy replaces the drop policy (routers with protocol-specific drop
+// orders, e.g. MaxProp, install theirs at Init).
+func (b *Buffer) SetPolicy(p DropPolicy) {
+	if p != nil {
+		b.policy = p
+	}
+}
+
+// Capacity returns the byte capacity (0 = unbounded).
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Used returns the bytes currently stored.
+func (b *Buffer) Used() int { return b.used }
+
+// Free returns the remaining capacity; unbounded buffers report a negative
+// value.
+func (b *Buffer) Free() int {
+	if b.capacity <= 0 {
+		return -1
+	}
+	return b.capacity - b.used
+}
+
+// Len returns the number of stored copies.
+func (b *Buffer) Len() int { return len(b.list) }
+
+// Has reports whether a copy of message id is stored.
+func (b *Buffer) Has(id int) bool {
+	_, ok := b.byID[id]
+	return ok
+}
+
+// Get returns the stored copy of message id, or nil.
+func (b *Buffer) Get(id int) *msg.Copy {
+	i, ok := b.byID[id]
+	if !ok {
+		return nil
+	}
+	return b.list[i]
+}
+
+// All returns the stored copies in insertion order. The returned slice is
+// shared; callers must not mutate it (copies themselves may be mutated).
+func (b *Buffer) All() []*msg.Copy { return b.list }
+
+// Add stores c, evicting victims via the drop policy as needed. It returns
+// the evicted copies and whether c was stored; a message larger than the
+// whole buffer is refused with ok=false. Adding a duplicate id panics —
+// routers must check Has first.
+func (b *Buffer) Add(t float64, c *msg.Copy) (dropped []*msg.Copy, ok bool) {
+	if _, dup := b.byID[c.M.ID]; dup {
+		panic(fmt.Sprintf("buffer: duplicate add of message %d", c.M.ID))
+	}
+	if b.capacity > 0 {
+		if c.M.Size > b.capacity {
+			return nil, false
+		}
+		for b.used+c.M.Size > b.capacity {
+			v := b.policy(t, b.list)
+			dropped = append(dropped, b.removeAt(v))
+		}
+	}
+	b.byID[c.M.ID] = len(b.list)
+	b.list = append(b.list, c)
+	b.used += c.M.Size
+	return dropped, true
+}
+
+// Remove deletes and returns the copy of message id, or nil if absent.
+func (b *Buffer) Remove(id int) *msg.Copy {
+	i, ok := b.byID[id]
+	if !ok {
+		return nil
+	}
+	return b.removeAt(i)
+}
+
+func (b *Buffer) removeAt(i int) *msg.Copy {
+	c := b.list[i]
+	copy(b.list[i:], b.list[i+1:])
+	b.list = b.list[:len(b.list)-1]
+	delete(b.byID, c.M.ID)
+	for j := i; j < len(b.list); j++ {
+		b.byID[b.list[j].M.ID] = j
+	}
+	b.used -= c.M.Size
+	return c
+}
+
+// DropExpired removes and returns every copy expired at time t.
+func (b *Buffer) DropExpired(t float64) []*msg.Copy {
+	var out []*msg.Copy
+	for i := 0; i < len(b.list); {
+		if b.list[i].M.Expired(t) {
+			out = append(out, b.removeAt(i))
+		} else {
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/msg"
+	"repro/internal/xrand"
+)
+
+func mkCopy(id, size int, created, received float64) *msg.Copy {
+	m := &msg.Message{ID: id, From: 0, To: 1, Size: size, Created: created, Expire: created + 1200}
+	c := msg.NewCopy(m, 1)
+	c.ReceivedAt = received
+	return c
+}
+
+func TestAddGetRemove(t *testing.T) {
+	b := New(100, nil)
+	c := mkCopy(1, 40, 0, 0)
+	if dropped, ok := b.Add(0, c); !ok || dropped != nil {
+		t.Fatalf("Add = %v, %v", dropped, ok)
+	}
+	if !b.Has(1) || b.Get(1) != c {
+		t.Fatal("lookup failed")
+	}
+	if b.Used() != 40 || b.Free() != 60 || b.Len() != 1 {
+		t.Fatalf("accounting: used=%d free=%d len=%d", b.Used(), b.Free(), b.Len())
+	}
+	if got := b.Remove(1); got != c {
+		t.Fatal("Remove returned wrong copy")
+	}
+	if b.Has(1) || b.Used() != 0 {
+		t.Fatal("remove did not clear state")
+	}
+	if b.Remove(99) != nil {
+		t.Error("Remove of absent id should be nil")
+	}
+}
+
+func TestEvictionFIFO(t *testing.T) {
+	b := New(100, nil) // default DropOldestReceived
+	b.Add(0, mkCopy(1, 40, 0, 5))
+	b.Add(0, mkCopy(2, 40, 0, 1)) // oldest received
+	dropped, ok := b.Add(0, mkCopy(3, 40, 0, 9))
+	if !ok || len(dropped) != 1 || dropped[0].M.ID != 2 {
+		t.Fatalf("dropped = %v, ok=%v; want message 2", dropped, ok)
+	}
+	if !b.Has(1) || !b.Has(3) || b.Has(2) {
+		t.Fatal("wrong survivor set")
+	}
+}
+
+func TestEvictionMultipleVictims(t *testing.T) {
+	b := New(100, nil)
+	b.Add(0, mkCopy(1, 30, 0, 1))
+	b.Add(0, mkCopy(2, 30, 0, 2))
+	b.Add(0, mkCopy(3, 30, 0, 3))
+	// Used 90 of 100; a 70-byte arrival needs two evictions (90→60→30).
+	dropped, ok := b.Add(0, mkCopy(4, 70, 0, 4))
+	if !ok || len(dropped) != 2 {
+		t.Fatalf("dropped %d copies, want 2", len(dropped))
+	}
+	if dropped[0].M.ID != 1 || dropped[1].M.ID != 2 {
+		t.Fatalf("dropped = %v, %v; want 1, 2", dropped[0].M.ID, dropped[1].M.ID)
+	}
+}
+
+func TestRefuseOversize(t *testing.T) {
+	b := New(50, nil)
+	b.Add(0, mkCopy(1, 40, 0, 0))
+	if _, ok := b.Add(0, mkCopy(2, 60, 0, 0)); ok {
+		t.Fatal("oversize message accepted")
+	}
+	if !b.Has(1) {
+		t.Fatal("refusal evicted existing content")
+	}
+}
+
+func TestUnboundedBuffer(t *testing.T) {
+	b := New(0, nil)
+	for i := 0; i < 100; i++ {
+		if _, ok := b.Add(0, mkCopy(i, 1000, 0, 0)); !ok {
+			t.Fatal("unbounded buffer refused")
+		}
+	}
+	if b.Free() >= 0 {
+		t.Error("unbounded Free should be negative")
+	}
+}
+
+func TestDuplicateAddPanics(t *testing.T) {
+	b := New(0, nil)
+	b.Add(0, mkCopy(1, 10, 0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Add(0, mkCopy(1, 10, 0, 0))
+}
+
+func TestDropExpired(t *testing.T) {
+	b := New(0, nil)
+	b.Add(0, mkCopy(1, 10, 0, 0))    // expires 1200
+	b.Add(0, mkCopy(2, 10, 1000, 0)) // expires 2200
+	b.Add(0, mkCopy(3, 10, 100, 0))  // expires 1300
+	out := b.DropExpired(1250)
+	if len(out) != 1 || out[0].M.ID != 1 {
+		t.Fatalf("expired = %v", out)
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	copies := []*msg.Copy{
+		mkCopy(1, 10, 50, 70),
+		mkCopy(2, 10, 10, 90), // oldest created
+		mkCopy(3, 10, 80, 60), // oldest received
+	}
+	copies[0].Hops = 5 // most hops
+	if v := DropOldestCreated(0, copies); copies[v].M.ID != 2 {
+		t.Errorf("DropOldestCreated chose %d", copies[v].M.ID)
+	}
+	if v := DropOldestReceived(0, copies); copies[v].M.ID != 3 {
+		t.Errorf("DropOldestReceived chose %d", copies[v].M.ID)
+	}
+	if v := DropSoonestExpiry(0, copies); copies[v].M.ID != 2 {
+		t.Errorf("DropSoonestExpiry chose %d", copies[v].M.ID)
+	}
+	if v := DropMostHops(0, copies); copies[v].M.ID != 1 {
+		t.Errorf("DropMostHops chose %d", copies[v].M.ID)
+	}
+}
+
+func TestInsertionOrderStable(t *testing.T) {
+	b := New(0, nil)
+	for i := 0; i < 10; i++ {
+		b.Add(0, mkCopy(i, 10, 0, 0))
+	}
+	b.Remove(3)
+	b.Remove(7)
+	want := []int{0, 1, 2, 4, 5, 6, 8, 9}
+	all := b.All()
+	for i, c := range all {
+		if c.M.ID != want[i] {
+			t.Fatalf("order = %v", all)
+		}
+	}
+	// Index map still consistent after compaction.
+	for _, id := range want {
+		if b.Get(id).M.ID != id {
+			t.Fatalf("Get(%d) broken after removals", id)
+		}
+	}
+}
+
+// TestPropCapacityInvariant: under random add/remove sequences the used
+// bytes never exceed capacity and always equal the sum of stored sizes.
+func TestPropCapacityInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		capacity := 100 + rng.Intn(400)
+		b := New(capacity, nil)
+		id := 0
+		for op := 0; op < 200; op++ {
+			if rng.Bool(0.7) {
+				id++
+				b.Add(float64(op), mkCopy(id, 10+rng.Intn(120), float64(op), float64(op)))
+			} else if b.Len() > 0 {
+				b.Remove(b.All()[rng.Intn(b.Len())].M.ID)
+			}
+			sum := 0
+			for _, c := range b.All() {
+				sum += c.M.Size
+			}
+			if sum != b.Used() || b.Used() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

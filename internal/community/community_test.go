@@ -1,0 +1,118 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := New([]int{0, 1, 0, 2, 1})
+	if r.Count() != 3 || r.N() != 5 {
+		t.Fatalf("Count=%d N=%d", r.Count(), r.N())
+	}
+	if r.Of(3) != 2 {
+		t.Errorf("Of(3) = %d", r.Of(3))
+	}
+	if m := r.Members(0); len(m) != 2 || m[0] != 0 || m[1] != 2 {
+		t.Errorf("Members(0) = %v", m)
+	}
+	if !r.Same(0, 2) || r.Same(0, 1) {
+		t.Error("Same wrong")
+	}
+	if len(r.Communities()) != 3 {
+		t.Error("Communities wrong")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	for name, ids := range map[string][]int{
+		"negative": {0, -1},
+		"sparse":   {0, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			New(ids)
+		}()
+	}
+}
+
+func TestFromAssignerCompacts(t *testing.T) {
+	// Assigner yields ids 5 and 9; they must be renumbered 0 and 1.
+	r := FromAssigner(4, func(i int) int {
+		if i%2 == 0 {
+			return 5
+		}
+		return 9
+	})
+	if r.Count() != 2 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if r.Of(0) != 0 || r.Of(1) != 1 || r.Of(2) != 0 {
+		t.Errorf("compacted ids wrong: %d %d %d", r.Of(0), r.Of(1), r.Of(2))
+	}
+}
+
+// TestLabelPropagationPlanted recovers a planted two-block structure:
+// strong in-block weights, weak cross-block weights.
+func TestLabelPropagationPlanted(t *testing.T) {
+	const n = 12
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	block := func(i int) int { return i / 6 }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.1
+			if block(i) == block(j) {
+				v = 10
+			}
+			w[i][j], w[j][i] = v, v
+		}
+	}
+	r := LabelPropagation(w, 50, xrand.New(1))
+	if r.Count() != 2 {
+		t.Fatalf("recovered %d communities, want 2", r.Count())
+	}
+	for i := 1; i < 6; i++ {
+		if !r.Same(0, i) {
+			t.Errorf("nodes 0 and %d split", i)
+		}
+		if r.Same(0, 6+i) {
+			t.Errorf("nodes 0 and %d merged", 6+i)
+		}
+	}
+}
+
+func TestLabelPropagationIsolated(t *testing.T) {
+	// No edges at all: everyone keeps their own label.
+	w := make([][]float64, 3)
+	for i := range w {
+		w[i] = make([]float64, 3)
+	}
+	r := LabelPropagation(w, 10, xrand.New(2))
+	if r.Count() != 3 {
+		t.Errorf("isolated nodes merged: %d communities", r.Count())
+	}
+}
+
+func TestLabelPropagationDeterministicGivenSeed(t *testing.T) {
+	w := [][]float64{
+		{0, 5, 5, 0.1},
+		{5, 0, 5, 0.1},
+		{5, 5, 0, 0.1},
+		{0.1, 0.1, 0.1, 0},
+	}
+	a := LabelPropagation(w, 20, xrand.New(3))
+	b := LabelPropagation(w, 20, xrand.New(3))
+	for i := 0; i < 4; i++ {
+		if a.Of(i) != b.Of(i) {
+			t.Fatal("same-seed label propagation diverged")
+		}
+	}
+}

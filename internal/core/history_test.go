@@ -1,0 +1,342 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// historyWith returns a 2-node history for node 0 whose contacts with node
+// 1 happened at the given times.
+func historyWith(t *testing.T, times ...float64) *History {
+	t.Helper()
+	h := NewHistory(0, 2, 0)
+	for _, ts := range times {
+		h.RecordContact(1, ts)
+	}
+	return h
+}
+
+func TestRecordContactIntervals(t *testing.T) {
+	h := historyWith(t, 100, 110, 130, 160, 200)
+	got := h.Intervals(1)
+	want := []float64{10, 20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("intervals = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intervals = %v, want %v", got, want)
+		}
+	}
+	if r := h.IntervalCount(1); r != 4 {
+		t.Errorf("IntervalCount = %d, want 4", r)
+	}
+	if last, ok := h.LastContact(1); !ok || last != 200 {
+		t.Errorf("LastContact = %v, %v; want 200, true", last, ok)
+	}
+	if mean, ok := h.MeanInterval(1); !ok || mean != 25 {
+		t.Errorf("MeanInterval = %v, %v; want 25, true", mean, ok)
+	}
+}
+
+func TestHistoryNeverMet(t *testing.T) {
+	h := NewHistory(0, 3, 0)
+	if h.Met(1) || h.Met(2) {
+		t.Fatal("fresh history claims contacts")
+	}
+	if p := h.EncounterProb(1, 10, 100); p != 0 {
+		t.Errorf("EncounterProb never met = %g, want 0", p)
+	}
+	if _, ok := h.EMD(1, 10); ok {
+		t.Error("EMD for never-met peer should report !ok")
+	}
+	if v := h.EEV(10, 100); v != 0 {
+		t.Errorf("EEV with no contacts = %g, want 0", v)
+	}
+}
+
+func TestHistoryMetOnceNoInterval(t *testing.T) {
+	h := historyWith(t, 100)
+	// One meeting gives a last-contact time but no interval: probability 0
+	// (empty R), EMD unavailable.
+	if p := h.EncounterProb(1, 150, 1000); p != 0 {
+		t.Errorf("EncounterProb with empty window = %g, want 0", p)
+	}
+	if _, ok := h.EMD(1, 150); ok {
+		t.Error("EMD with empty window should report !ok")
+	}
+}
+
+// TestTheorem1Worked pins the worked example of Theorem 1: intervals
+// {10,20,30,40}, last contact at 200.
+func TestTheorem1Worked(t *testing.T) {
+	h := historyWith(t, 100, 110, 130, 160, 200)
+	cases := []struct {
+		t, tau float64
+		want   float64
+	}{
+		// elapsed 15 -> M = {20,30,40}; tau 10 -> Mτ = {20}.
+		{215, 10, 1.0 / 3},
+		// elapsed 15, tau 25 -> Mτ = {20,30,40}? 15+25=40 inclusive -> all 3.
+		{215, 25, 1},
+		// elapsed 0 -> M = all 4; tau 10 -> {10}.
+		{200, 10, 1.0 / 4},
+		// elapsed 5, tau 4 -> bound 9 < 10: none.
+		{205, 4, 0},
+		// elapsed 5, tau 5 -> bound 10, inclusive: {10}.
+		{205, 5, 1.0 / 3 * 0}, // placeholder, replaced below
+	}
+	cases[4].want = 1.0 / 4 // M = {10,20,30,40} (Δt > 5), Mτ = {10}
+	for _, c := range cases {
+		if got := h.EncounterProb(1, c.t, c.tau); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("EncounterProb(t=%g, tau=%g) = %g, want %g", c.t, c.tau, got, c.want)
+		}
+	}
+}
+
+func TestTheorem1Overdue(t *testing.T) {
+	h := historyWith(t, 100, 110, 130, 160, 200)
+	// elapsed 45 exceeds every interval: overdue -> probability 1.
+	if got := h.EncounterProb(1, 245, 1); got != 1 {
+		t.Errorf("overdue EncounterProb = %g, want 1", got)
+	}
+	// tau <= 0 is never a positive-probability horizon.
+	if got := h.EncounterProb(1, 245, 0); got != 0 {
+		t.Errorf("EncounterProb with tau=0 = %g, want 0", got)
+	}
+}
+
+// TestTheorem2Worked pins the worked example of Theorem 2.
+func TestTheorem2Worked(t *testing.T) {
+	h := historyWith(t, 100, 110, 130, 160, 200)
+	// t=215: elapsed 15, M = {20,30,40}, EMD = 30 - 15 = 15.
+	if got, ok := h.EMD(1, 215); !ok || math.Abs(got-15) > 1e-12 {
+		t.Errorf("EMD(215) = %g, %v; want 15, true", got, ok)
+	}
+	// t=200 (just met): EMD = mean of all = 25.
+	if got, ok := h.EMD(1, 200); !ok || math.Abs(got-25) > 1e-12 {
+		t.Errorf("EMD(200) = %g, %v; want 25, true", got, ok)
+	}
+	// Overdue (elapsed 45): falls back to the unconditioned mean 25.
+	if got, ok := h.EMD(1, 245); !ok || math.Abs(got-25) > 1e-12 {
+		t.Errorf("overdue EMD = %g, %v; want 25, true", got, ok)
+	}
+}
+
+// TestTheorem2PeriodicExample pins the paper's motivating example: two
+// nodes meeting every Δt; half-way through the period the expected delay
+// is Δt/2, not the average interval Δt.
+func TestTheorem2PeriodicExample(t *testing.T) {
+	h := NewHistory(0, 2, 0)
+	for ts := 0.0; ts <= 1000; ts += 100 {
+		h.RecordContact(1, ts)
+	}
+	got, ok := h.EMD(1, 1050)
+	if !ok || math.Abs(got-50) > 1e-12 {
+		t.Errorf("EMD at half-period = %g, %v; want 50, true", got, ok)
+	}
+}
+
+func TestSlidingWindowEviction(t *testing.T) {
+	h := NewHistory(0, 2, 3)
+	for _, ts := range []float64{0, 10, 30, 60, 100} { // intervals 10,20,30,40
+		h.RecordContact(1, ts)
+	}
+	got := h.Intervals(1)
+	want := []float64{20, 30, 40} // oldest interval evicted
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("windowed intervals = %v, want %v", got, want)
+	}
+}
+
+func TestRecordContactPanicsBackwards(t *testing.T) {
+	h := historyWith(t, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-monotonic contact time")
+		}
+	}()
+	h.RecordContact(1, 50)
+}
+
+func TestEEVSumsPeers(t *testing.T) {
+	h := NewHistory(0, 4, 0)
+	// Peer 1: intervals {10,20}; last at 100.
+	for _, ts := range []float64{70, 80, 100} {
+		h.RecordContact(1, ts)
+	}
+	// Peer 2: intervals {40}; last at 100.
+	for _, ts := range []float64{60, 100} {
+		h.RecordContact(2, ts)
+	}
+	// Peer 3: never met.
+	// At t=100 (elapsed 0 for both), tau=15: peer1 {10} of {10,20} = 1/2,
+	// peer2 {} of {40} = 0.
+	if got := h.EEV(100, 15); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("EEV = %g, want 0.5", got)
+	}
+	// tau=40: peer1 2/2, peer2 1/1 -> 2.
+	if got := h.EEV(100, 40); math.Abs(got-2) > 1e-12 {
+		t.Errorf("EEV = %g, want 2", got)
+	}
+	// Subset excluding peer 1.
+	if got := h.EEVSubset(100, 40, []int{0, 2, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("EEVSubset = %g, want 1", got)
+	}
+}
+
+// TestTheorem4Worked pins ENEC on a hand-computed example.
+func TestTheorem4Worked(t *testing.T) {
+	h := NewHistory(0, 5, 0)
+	// Peers 1,2 in community B; peers 3,4 in community C.
+	for _, ts := range []float64{80, 100} { // interval 20
+		h.RecordContact(1, ts)
+	}
+	for _, ts := range []float64{50, 100} { // interval 50
+		h.RecordContact(2, ts)
+	}
+	for _, ts := range []float64{90, 100} { // interval 10
+		h.RecordContact(3, ts)
+	}
+	// Peer 4 never met.
+	communities := [][]int{{0}, {1, 2}, {3, 4}}
+	// tau=25 at t=100: p1 = 1 (20<=25 of {20}), p2 = 0, p3 = 1.
+	// P(B) = 1-(1-1)(1-0) = 1; P(C) = 1-(1-1)(1-0) = 1. ENEC = 2.
+	if got := h.ENEC(100, 25, communities, 0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ENEC = %g, want 2", got)
+	}
+	// tau=15: p1=0, p2=0, p3=1 -> P(B)=0, P(C)=1 -> ENEC=1.
+	if got := h.ENEC(100, 15, communities, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ENEC = %g, want 1", got)
+	}
+	// Own community excluded from the sum.
+	if got := h.ENEC(100, 15, communities, 2); math.Abs(got-0) > 1e-12 {
+		t.Errorf("ENEC excluding own = %g, want 0", got)
+	}
+	// CommunityProb of C with only peer 3 counting.
+	if got := h.CommunityProb(100, 15, []int{3, 4}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CommunityProb = %g, want 1", got)
+	}
+}
+
+// randomHistory builds a history with random contact sequences for
+// property tests.
+func randomHistory(seed int64, n int) (*History, float64) {
+	rng := xrand.New(seed)
+	h := NewHistory(0, n, 1+rng.Intn(16))
+	now := 0.0
+	for j := 1; j < n; j++ {
+		if rng.Bool(0.2) {
+			continue // some peers never met
+		}
+		t := rng.Uniform(0, 100)
+		contacts := rng.Intn(20)
+		for k := 0; k <= contacts; k++ {
+			h.RecordContact(j, t)
+			t += rng.Uniform(0.1, 200)
+		}
+		if t > now {
+			now = t
+		}
+	}
+	return h, now + 1
+}
+
+func TestPropEncounterProbInUnitRange(t *testing.T) {
+	f := func(seed int64, tau float64) bool {
+		h, now := randomHistory(seed, 6)
+		tau = math.Mod(math.Abs(tau), 500)
+		for j := 1; j < 6; j++ {
+			p := h.EncounterProb(j, now, tau)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEncounterProbMonotoneInTau(t *testing.T) {
+	f := func(seed int64, a, b float64) bool {
+		h, now := randomHistory(seed, 6)
+		a = math.Mod(math.Abs(a), 500)
+		b = math.Mod(math.Abs(b), 500)
+		if a > b {
+			a, b = b, a
+		}
+		for j := 1; j < 6; j++ {
+			if h.EncounterProb(j, now, a) > h.EncounterProb(j, now, b)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEEVBounded(t *testing.T) {
+	f := func(seed int64, tau float64) bool {
+		h, now := randomHistory(seed, 8)
+		tau = math.Mod(math.Abs(tau), 1000)
+		v := h.EEV(now, tau)
+		return v >= 0 && v <= 7 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEMDPositive(t *testing.T) {
+	f := func(seed int64, dt float64) bool {
+		h, now := randomHistory(seed, 6)
+		at := now + math.Mod(math.Abs(dt), 300)
+		for j := 1; j < 6; j++ {
+			if d, ok := h.EMD(j, at); ok && (d < MinDelay || math.IsNaN(d)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropENECBoundedByCommunities(t *testing.T) {
+	f := func(seed int64, tau float64) bool {
+		h, now := randomHistory(seed, 9)
+		tau = math.Mod(math.Abs(tau), 1000)
+		communities := [][]int{{0, 1, 2}, {3, 4}, {5, 6}, {7, 8}}
+		v := h.ENEC(now, tau, communities, 0)
+		return v >= 0 && v <= 3 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCommunityProbDominatesMembers(t *testing.T) {
+	f := func(seed int64, tau float64) bool {
+		h, now := randomHistory(seed, 7)
+		tau = math.Mod(math.Abs(tau), 1000)
+		members := []int{2, 3, 4}
+		cp := h.CommunityProb(now, tau, members)
+		for _, j := range members {
+			if cp < h.EncounterProb(j, now, tau)-1e-12 {
+				return false
+			}
+		}
+		return cp <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unknown marks an MI entry for which no meeting-interval estimate exists.
+// It behaves as "no edge" in the MEMD Dijkstra.
+var Unknown = math.Inf(1)
+
+// MeetingMatrix is the link-state MI matrix of Section III-B.2: for a node
+// set {ids}, entry (i, j) holds node ids[i]'s published average meeting
+// interval to ids[j]. Each row is owned by the node it describes and
+// carries the timestamp of its last update, so that two encountering nodes
+// can exchange only the fresher rows (footnote 1 of the paper).
+//
+// The same type serves the full network (EER) and a single community
+// (CR's intra-community MI) — the latter simply covers fewer ids.
+type MeetingMatrix struct {
+	ids     []int       // global node ids covered, ascending
+	idx     map[int]int // global id -> local index
+	rows    [][]float64 // rows[i][j] = I(ids[i], ids[j]); Unknown if none
+	updated []float64   // last update time per row; -1 = never
+}
+
+// NewMeetingMatrix returns an all-Unknown matrix over the given global node
+// ids. The id list is copied; it must contain no duplicates.
+func NewMeetingMatrix(ids []int) *MeetingMatrix {
+	m := &MeetingMatrix{
+		ids:     append([]int(nil), ids...),
+		idx:     make(map[int]int, len(ids)),
+		rows:    make([][]float64, len(ids)),
+		updated: make([]float64, len(ids)),
+	}
+	flat := make([]float64, len(ids)*len(ids))
+	for i := range flat {
+		flat[i] = Unknown
+	}
+	for i, id := range m.ids {
+		if _, dup := m.idx[id]; dup {
+			panic(fmt.Sprintf("core: duplicate id %d in meeting matrix", id))
+		}
+		m.idx[id] = i
+		m.rows[i], flat = flat[:len(ids)], flat[len(ids):]
+		m.rows[i][i] = 0
+		m.updated[i] = -1
+	}
+	return m
+}
+
+// NewFullMeetingMatrix returns a matrix over nodes 0..n-1.
+func NewFullMeetingMatrix(n int) *MeetingMatrix {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return NewMeetingMatrix(ids)
+}
+
+// Size returns the number of covered nodes.
+func (m *MeetingMatrix) Size() int { return len(m.ids) }
+
+// IDs returns the covered global node ids (shared; do not mutate).
+func (m *MeetingMatrix) IDs() []int { return m.ids }
+
+// Index returns the local index of global node id. ok is false when the
+// matrix does not cover id.
+func (m *MeetingMatrix) Index(id int) (int, bool) {
+	i, ok := m.idx[id]
+	return i, ok
+}
+
+// Covers reports whether the matrix includes global node id.
+func (m *MeetingMatrix) Covers(id int) bool {
+	_, ok := m.idx[id]
+	return ok
+}
+
+// Interval returns the published average meeting interval between global
+// nodes a and b, or Unknown if absent or uncovered.
+func (m *MeetingMatrix) Interval(a, b int) float64 {
+	i, ok1 := m.idx[a]
+	j, ok2 := m.idx[b]
+	if !ok1 || !ok2 {
+		return Unknown
+	}
+	return m.rows[i][j]
+}
+
+// RowUpdated returns the timestamp of the last update of global node id's
+// row, or -1 if it was never set (or id is uncovered).
+func (m *MeetingMatrix) RowUpdated(id int) float64 {
+	i, ok := m.idx[id]
+	if !ok {
+		return -1
+	}
+	return m.updated[i]
+}
+
+// UpdateOwnRow refreshes the row owned by global node self from its contact
+// history at time t. Only peers covered by the matrix are read, so a
+// community-scoped matrix stores only intra-community averages.
+func (m *MeetingMatrix) UpdateOwnRow(self int, t float64, h *History) {
+	i, ok := m.idx[self]
+	if !ok {
+		panic(fmt.Sprintf("core: node %d not covered by meeting matrix", self))
+	}
+	row := m.rows[i]
+	for j, id := range m.ids {
+		if id == self {
+			row[j] = 0
+			continue
+		}
+		if mean, got := h.MeanInterval(id); got {
+			row[j] = mean
+		} else {
+			row[j] = Unknown
+		}
+	}
+	m.updated[i] = t
+}
+
+// Merge copies into m every row of other that is strictly fresher,
+// implementing the exchange of Algorithm 1 line 4. It returns the number of
+// rows copied. Both matrices must cover the same id set.
+func (m *MeetingMatrix) Merge(other *MeetingMatrix) int {
+	if len(m.ids) != len(other.ids) {
+		panic("core: merging meeting matrices over different node sets")
+	}
+	copied := 0
+	for i := range m.ids {
+		if m.ids[i] != other.ids[i] {
+			panic("core: merging meeting matrices over different node sets")
+		}
+		if other.updated[i] > m.updated[i] {
+			copy(m.rows[i], other.rows[i])
+			m.updated[i] = other.updated[i]
+			copied++
+		}
+	}
+	return copied
+}
+
+// SyncPair merges a and b into the identical MI required by Algorithm 1
+// line 4: each ends up with the element-wise fresher rows of the two.
+func SyncPair(a, b *MeetingMatrix) {
+	a.Merge(b)
+	b.Merge(a)
+}
+
+// KnownRows returns how many rows have ever been updated.
+func (m *MeetingMatrix) KnownRows() int {
+	n := 0
+	for _, u := range m.updated {
+		if u >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *MeetingMatrix) Clone() *MeetingMatrix {
+	c := NewMeetingMatrix(m.ids)
+	for i := range m.rows {
+		copy(c.rows[i], m.rows[i])
+	}
+	copy(c.updated, m.updated)
+	return c
+}

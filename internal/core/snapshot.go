@@ -1,0 +1,132 @@
+package core
+
+import "sort"
+
+// EEVSnapshot freezes the encounter-probability state of a History at one
+// instant t so that many horizons (one per buffered message, since each
+// message has its own residual TTL) can be evaluated in O(log window) each.
+// Routers build one snapshot per contact — the paper's Algorithm 1 makes
+// all distribution decisions at meeting time — and query it for every
+// message.
+//
+// For each peer the snapshot keeps the sorted "time until next meeting"
+// offsets {Δt − elapsed : Δt ∈ M_ij}; the Theorem-1 probability for a
+// horizon τ is then (#offsets ≤ τ) / m_ij.
+type EEVSnapshot struct {
+	h *History
+	t float64
+
+	offsets [][]float64 // per peer, ascending; nil when m = 0
+	overdue []bool      // r > 0 but m = 0
+	met     []bool
+}
+
+// SnapshotEEV builds a snapshot of h at time t.
+func (h *History) SnapshotEEV(t float64) *EEVSnapshot {
+	s := &EEVSnapshot{
+		h:       h,
+		t:       t,
+		offsets: make([][]float64, h.n),
+		overdue: make([]bool, h.n),
+		met:     make([]bool, h.n),
+	}
+	for j := 0; j < h.n; j++ {
+		if j == h.self || !h.met[j] {
+			continue
+		}
+		s.met[j] = true
+		elapsed := t - h.last[j]
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		ring := &h.ivals[j]
+		if ring.len() == 0 {
+			continue // met once, no interval: probability 0, like History
+		}
+		var offs []float64
+		ring.forEach(func(dt float64) {
+			if dt > elapsed {
+				offs = append(offs, dt-elapsed)
+			}
+		})
+		if len(offs) == 0 {
+			s.overdue[j] = true
+			continue
+		}
+		sort.Float64s(offs)
+		s.offsets[j] = offs
+	}
+	return s
+}
+
+// Time returns the instant the snapshot was taken.
+func (s *EEVSnapshot) Time() float64 { return s.t }
+
+// Prob returns the Theorem-1 encounter probability for peer within
+// (t, t+tau], identical to History.EncounterProb at the snapshot time.
+func (s *EEVSnapshot) Prob(peer int, tau float64) float64 {
+	if peer == s.h.self || tau <= 0 || !s.met[peer] {
+		return 0
+	}
+	offs := s.offsets[peer]
+	if offs == nil {
+		if s.overdue[peer] {
+			return 1
+		}
+		return 0
+	}
+	k := sort.SearchFloat64s(offs, tau)
+	// SearchFloat64s returns the first index with offs[i] >= tau; the
+	// probability wants offsets <= tau, so advance over equal values.
+	for k < len(offs) && offs[k] == tau {
+		k++
+	}
+	return float64(k) / float64(len(offs))
+}
+
+// EEV returns the expected encounter value over all peers for horizon tau.
+func (s *EEVSnapshot) EEV(tau float64) float64 {
+	sum := 0.0
+	for j := 0; j < s.h.n; j++ {
+		sum += s.Prob(j, tau)
+	}
+	return sum
+}
+
+// EEVSubset returns the intra-community expected encounter value over the
+// given members.
+func (s *EEVSnapshot) EEVSubset(tau float64, members []int) float64 {
+	sum := 0.0
+	for _, j := range members {
+		sum += s.Prob(j, tau)
+	}
+	return sum
+}
+
+// CommunityProb returns P_ik for the given member set and horizon.
+func (s *EEVSnapshot) CommunityProb(tau float64, members []int) float64 {
+	miss := 1.0
+	for _, j := range members {
+		if j == s.h.self {
+			continue
+		}
+		miss *= 1 - s.Prob(j, tau)
+		if miss == 0 {
+			return 1
+		}
+	}
+	return 1 - miss
+}
+
+// ENEC returns the Theorem-4 expected number of encountered communities,
+// excluding the node's own community index own.
+func (s *EEVSnapshot) ENEC(tau float64, communities [][]int, own int) float64 {
+	sum := 0.0
+	for k, members := range communities {
+		if k == own {
+			continue
+		}
+		sum += s.CommunityProb(tau, members)
+	}
+	return sum
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSnapshotMatchesHistory is the central snapshot property: for any
+// random history, peer and horizon, the snapshot probability equals the
+// direct Theorem-1 computation at the snapshot time.
+func TestSnapshotMatchesHistory(t *testing.T) {
+	f := func(seed int64, tau float64, dt float64) bool {
+		h, now := randomHistory(seed, 8)
+		at := now + math.Mod(math.Abs(dt), 200)
+		tau = math.Mod(math.Abs(tau), 600)
+		s := h.SnapshotEEV(at)
+		for j := 0; j < 8; j++ {
+			a := s.Prob(j, tau)
+			b := h.EncounterProb(j, at, tau)
+			if math.Abs(a-b) > 1e-12 {
+				return false
+			}
+		}
+		return math.Abs(s.EEV(tau)-h.EEV(at, tau)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotSubsetAndENECMatch(t *testing.T) {
+	f := func(seed int64, tau float64) bool {
+		h, now := randomHistory(seed, 9)
+		tau = math.Mod(math.Abs(tau), 600)
+		s := h.SnapshotEEV(now)
+		members := []int{1, 3, 5, 7}
+		if math.Abs(s.EEVSubset(tau, members)-h.EEVSubset(now, tau, members)) > 1e-9 {
+			return false
+		}
+		comms := [][]int{{0, 2}, {1, 3}, {4, 5, 6}, {7, 8}}
+		return math.Abs(s.ENEC(tau, comms, 0)-h.ENEC(now, tau, comms, 0)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotCommunityProbMatches(t *testing.T) {
+	f := func(seed int64, tau float64) bool {
+		h, now := randomHistory(seed, 7)
+		tau = math.Mod(math.Abs(tau), 600)
+		s := h.SnapshotEEV(now)
+		members := []int{2, 4, 6}
+		return math.Abs(s.CommunityProb(tau, members)-h.CommunityProb(now, tau, members)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotBoundaryInclusive pins the ≤ boundary of Mτ: an interval
+// exactly at elapsed+tau counts.
+func TestSnapshotBoundaryInclusive(t *testing.T) {
+	h := NewHistory(0, 2, 0)
+	for _, ts := range []float64{0, 10, 30} { // intervals 10, 20
+		h.RecordContact(1, ts)
+	}
+	s := h.SnapshotEEV(35) // elapsed 5: M = {10, 20}, offsets {5, 15}
+	if got := s.Prob(1, 5); got != 0.5 {
+		t.Errorf("Prob at boundary = %g, want 0.5", got)
+	}
+	if got := s.Prob(1, 4.999); got != 0 {
+		t.Errorf("Prob below boundary = %g, want 0", got)
+	}
+	if got := s.Prob(1, 15); got != 1 {
+		t.Errorf("Prob at upper boundary = %g, want 1", got)
+	}
+}

@@ -1,0 +1,288 @@
+// Package experiment assembles and runs complete scenarios: the map, the
+// bus fleet, the traffic load and a protocol under test — the paper's
+// Section V configuration — with multi-seed averaging, node-count sweeps
+// and table/CSV rendering for every figure.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/community"
+	"repro/internal/geo"
+	"repro/internal/mapgen"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// Protocol names a router implementation.
+type Protocol string
+
+// The protocols of the paper's evaluation plus the extra references and
+// ablations.
+const (
+	EER           Protocol = "EER"
+	CR            Protocol = "CR"
+	EBR           Protocol = "EBR"
+	MaxProp       Protocol = "MaxProp"
+	SprayAndWait  Protocol = "SprayAndWait"
+	SprayAndFocus Protocol = "SprayAndFocus"
+	Epidemic      Protocol = "Epidemic"
+	Prophet       Protocol = "Prophet"
+	Direct        Protocol = "Direct"
+	FirstContact  Protocol = "FirstContact"
+	// EERFixedEV is ablation A1: EER with a TTL-independent EEV horizon.
+	EERFixedEV Protocol = "EER-fixedEV"
+	// EERMeanMD is ablation A2: EER whose MD row uses plain mean intervals.
+	EERMeanMD Protocol = "EER-meanMD"
+)
+
+// AllPaperProtocols lists the six protocols of Figure 2 in plot order.
+var AllPaperProtocols = []Protocol{EER, CR, EBR, MaxProp, SprayAndWait, SprayAndFocus}
+
+// Scenario is a complete run configuration. The zero value is unusable;
+// start from Default.
+type Scenario struct {
+	Protocol Protocol
+	Nodes    int
+	Seed     int64
+
+	// Protocol parameters.
+	Lambda int     // replica quota λ
+	Alpha  float64 // horizon scale α
+	Window int     // history sliding-window size
+	// ForwardHysteresis is EER's single-copy forwarding hysteresis in
+	// seconds (0 = the paper's strict comparison; ablation A3).
+	ForwardHysteresis float64
+
+	// Simulation parameters.
+	Duration float64
+	Tick     float64
+
+	// Physical layer.
+	Range     float64
+	Bandwidth float64 // bytes per second
+	BufBytes  int
+
+	// Traffic.
+	MsgSize                        int
+	TTL                            float64
+	MsgIntervalMin, MsgIntervalMax float64
+	TrafficStop                    float64 // 0 = Duration
+
+	// Mobility.
+	Mobility           string // "bus" (default) or "rwp"
+	MinSpeed, MaxSpeed float64
+	MinDwell, MaxDwell float64
+	Map                mapgen.Config
+	MapSeed            int64 // the map is shared across seeds and protocols
+}
+
+// Default returns the paper's Section V-A settings: 10 m range, 2 Mb/s,
+// 1 MB buffers, 25 KB messages, 20-minute TTL, speeds 2.7–13.9 m/s,
+// 10 000 s runs, α = 0.28, λ = 10, a message per 25–35 s.
+func Default() Scenario {
+	return Scenario{
+		Protocol:       EER,
+		Nodes:          120,
+		Seed:           1,
+		Lambda:         10,
+		Alpha:          0.28,
+		Window:         0, // core.DefaultWindow
+		Duration:       10000,
+		Tick:           0.25,
+		Range:          10,
+		Bandwidth:      250000,
+		BufBytes:       1 << 20,
+		MsgSize:        25 * 1024,
+		TTL:            20 * 60,
+		MsgIntervalMin: 25,
+		MsgIntervalMax: 35,
+		Mobility:       "bus",
+		MinSpeed:       2.7,
+		MaxSpeed:       13.9,
+		MinDwell:       10,
+		MaxDwell:       30,
+		Map:            mapgen.DefaultConfig(),
+		MapSeed:        42,
+	}
+}
+
+// Quick returns a scaled-down scenario for tests and testing.B benches:
+// same physics, smaller fleet and shorter run.
+func Quick() Scenario {
+	s := Default()
+	s.Nodes = 60
+	s.Duration = 2500
+	s.Tick = 0.5
+	return s
+}
+
+// Build constructs the world, movers, routers and traffic for the
+// scenario, returning the ready-to-run world and its runner. Most callers
+// want Run; Build is exposed for tests and tools that need to inspect the
+// world mid-flight.
+func (s Scenario) Build() (*network.World, *sim.Runner) {
+	if s.Nodes < 2 {
+		panic("experiment: need at least two nodes")
+	}
+	runner := sim.NewRunner(s.Tick)
+	w := network.New(network.Config{Range: s.Range, Bandwidth: s.Bandwidth}, runner)
+
+	rm := mapgen.Generate(s.Map, s.MapSeed)
+	reg := community.FromAssigner(s.Nodes, rm.DistrictOfNode)
+	factory := s.routerFactory(reg)
+
+	root := xrand.New(s.Seed)
+	for i := 0; i < s.Nodes; i++ {
+		rng := root.Derive(fmt.Sprintf("node-%d", i))
+		mv := buildMover(s, rm, i, rng)
+		w.AddNode(mv, buffer.New(s.BufBytes, nil), factory())
+	}
+	w.Start()
+
+	stop := s.TrafficStop
+	if stop <= 0 {
+		stop = s.Duration
+	}
+	gen := &traffic.Uniform{
+		MinInterval: s.MsgIntervalMin,
+		MaxInterval: s.MsgIntervalMax,
+		Size:        s.MsgSize,
+		TTL:         s.TTL,
+		Start:       0,
+		Stop:        stop,
+		Rng:         root.Derive("traffic"),
+	}
+	gen.Install(w)
+	return w, runner
+}
+
+// routerFactory returns a fresh-router constructor for the scenario's
+// protocol.
+func (s Scenario) routerFactory(reg *community.Registry) func() network.Router {
+	switch s.Protocol {
+	case EER:
+		f := routing.EERFactory(s.eerConfig(), s.Nodes)
+		return func() network.Router { return f() }
+	case EERFixedEV:
+		cfg := s.eerConfig()
+		cfg.FixedHorizon = s.TTL
+		f := routing.EERFactory(cfg, s.Nodes)
+		return func() network.Router { return f() }
+	case EERMeanMD:
+		cfg := s.eerConfig()
+		cfg.MeanIntervalMD = true
+		f := routing.EERFactory(cfg, s.Nodes)
+		return func() network.Router { return f() }
+	case CR:
+		f := routing.CRFactory(routing.CRConfig{Lambda: s.Lambda, Alpha: s.Alpha, Window: s.Window}, reg)
+		return func() network.Router { return f() }
+	case EBR:
+		return func() network.Router { return routing.NewEBR(s.Lambda) }
+	case MaxProp:
+		f := routing.MaxPropFactory(s.Nodes)
+		return func() network.Router { return f() }
+	case SprayAndWait:
+		return func() network.Router { return routing.NewSprayAndWait(s.Lambda) }
+	case SprayAndFocus:
+		return func() network.Router { return routing.NewSprayAndFocus(s.Lambda) }
+	case Epidemic:
+		return func() network.Router { return routing.NewEpidemic() }
+	case Prophet:
+		return func() network.Router { return routing.NewProphet() }
+	case Direct:
+		return func() network.Router { return routing.NewDirect() }
+	case FirstContact:
+		return func() network.Router { return routing.NewFirstContact() }
+	default:
+		panic("experiment: unknown protocol " + string(s.Protocol))
+	}
+}
+
+// BuildBare constructs the scenario's world and mobility with
+// caller-supplied routers and no traffic generator — the hook tools like
+// tracegen use to observe contacts without protocol machinery.
+func BuildBare(s Scenario, router func(i int) network.Router) (*network.World, *sim.Runner) {
+	runner := sim.NewRunner(s.Tick)
+	w := network.New(network.Config{Range: s.Range, Bandwidth: s.Bandwidth}, runner)
+	rm := mapgen.Generate(s.Map, s.MapSeed)
+	root := xrand.New(s.Seed)
+	for i := 0; i < s.Nodes; i++ {
+		rng := root.Derive(fmt.Sprintf("node-%d", i))
+		mv := buildMover(s, rm, i, rng)
+		w.AddNode(mv, buffer.New(s.BufBytes, nil), router(i))
+	}
+	w.Start()
+	return w, runner
+}
+
+// buildMover constructs node i's mover per the scenario's mobility model.
+func buildMover(s Scenario, rm *mapgen.RoadMap, i int, rng *xrand.Source) mobility.Mover {
+	switch s.Mobility {
+	case "bus", "":
+		return mobility.NewBus(rm, rm.LineOfNode(i), s.MinSpeed, s.MaxSpeed, s.MinDwell, s.MaxDwell, rng)
+	case "rwp":
+		return mobility.NewRandomWaypoint(geo.NewRect(geo.Point{}, geo.Point{X: s.Map.Width, Y: s.Map.Height}),
+			s.MinSpeed, s.MaxSpeed, s.MinDwell, s.MaxDwell, rng)
+	default:
+		panic("experiment: unknown mobility model " + s.Mobility)
+	}
+}
+
+// eerConfig assembles the EER router configuration from the scenario.
+func (s Scenario) eerConfig() routing.EERConfig {
+	return routing.EERConfig{
+		Lambda:            s.Lambda,
+		Alpha:             s.Alpha,
+		Window:            s.Window,
+		ForwardHysteresis: s.ForwardHysteresis,
+	}
+}
+
+// Run executes the scenario to completion and returns its metrics.
+func (s Scenario) Run() metrics.Summary {
+	w, runner := s.Build()
+	runner.Run(s.Duration)
+	return w.Metrics.Summary()
+}
+
+// RunSeeds executes the scenario once per seed (in parallel — worlds are
+// independent) and returns the per-seed summaries in seed order.
+func RunSeeds(s Scenario, seeds []int64) []metrics.Summary {
+	out := make([]metrics.Summary, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		i, seed := i, seed
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := s
+			sc.Seed = seed
+			out[i] = sc.Run()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Seeds returns the canonical seed list 1..n.
+func Seeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// RunAveraged executes the scenario over n seeds and returns the mean
+// summary.
+func RunAveraged(s Scenario, nSeeds int) metrics.Summary {
+	return metrics.Mean(RunSeeds(s, Seeds(nSeeds)))
+}

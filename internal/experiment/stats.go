@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Spread summarises the across-seed distribution of one metric: the mean,
+// the sample standard deviation and the half-width of the 95% confidence
+// interval (normal approximation — the paper averages 10 runs per point
+// without reporting spread; we report it so shape claims can be judged).
+type Spread struct {
+	Mean, StdDev, CI95 float64
+	N                  int
+}
+
+// SpreadOf computes the spread of metric m over per-seed summaries.
+func SpreadOf(sums []metrics.Summary, m Metric) Spread {
+	n := len(sums)
+	if n == 0 {
+		return Spread{}
+	}
+	mean := 0.0
+	for _, s := range sums {
+		mean += m.Get(s)
+	}
+	mean /= float64(n)
+	if n == 1 {
+		return Spread{Mean: mean, N: 1}
+	}
+	varsum := 0.0
+	for _, s := range sums {
+		d := m.Get(s) - mean
+		varsum += d * d
+	}
+	sd := math.Sqrt(varsum / float64(n-1))
+	return Spread{
+		Mean:   mean,
+		StdDev: sd,
+		CI95:   1.96 * sd / math.Sqrt(float64(n)),
+		N:      n,
+	}
+}
+
+// SpreadPoint is one sweep position with per-metric spreads.
+type SpreadPoint struct {
+	X       float64
+	Spreads map[string]Spread
+}
+
+// NodeSweepWithSpread runs base at every node count keeping the per-seed
+// distribution for each paper metric.
+func NodeSweepWithSpread(base Scenario, counts []int, nSeeds int) []SpreadPoint {
+	var out []SpreadPoint
+	for _, n := range counts {
+		s := base
+		s.Nodes = n
+		sums := RunSeeds(s, Seeds(nSeeds))
+		p := SpreadPoint{X: float64(n), Spreads: make(map[string]Spread, len(PaperMetrics))}
+		for _, m := range PaperMetrics {
+			p.Spreads[m.Name] = SpreadOf(sums, m)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Overlaps reports whether two spreads' 95% intervals overlap — the
+// cheap "is A really above B?" check used when judging orderings.
+func Overlaps(a, b Spread) bool {
+	lo := math.Max(a.Mean-a.CI95, b.Mean-b.CI95)
+	hi := math.Min(a.Mean+a.CI95, b.Mean+b.CI95)
+	return lo <= hi
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSpreadOf(t *testing.T) {
+	sums := []metrics.Summary{
+		{DeliveryRatio: 0.4},
+		{DeliveryRatio: 0.6},
+		{DeliveryRatio: 0.5},
+	}
+	sp := SpreadOf(sums, MetricDeliveryRatio)
+	if math.Abs(sp.Mean-0.5) > 1e-12 {
+		t.Errorf("mean = %g", sp.Mean)
+	}
+	if math.Abs(sp.StdDev-0.1) > 1e-12 {
+		t.Errorf("stddev = %g", sp.StdDev)
+	}
+	wantCI := 1.96 * 0.1 / math.Sqrt(3)
+	if math.Abs(sp.CI95-wantCI) > 1e-12 {
+		t.Errorf("ci = %g, want %g", sp.CI95, wantCI)
+	}
+	if sp.N != 3 {
+		t.Errorf("n = %d", sp.N)
+	}
+}
+
+func TestSpreadDegenerate(t *testing.T) {
+	if sp := SpreadOf(nil, MetricLatency); sp != (Spread{}) {
+		t.Errorf("empty spread = %+v", sp)
+	}
+	sp := SpreadOf([]metrics.Summary{{AvgLatency: 42}}, MetricLatency)
+	if sp.Mean != 42 || sp.StdDev != 0 || sp.CI95 != 0 || sp.N != 1 {
+		t.Errorf("single spread = %+v", sp)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Spread{Mean: 0.5, CI95: 0.05}
+	b := Spread{Mean: 0.58, CI95: 0.05}
+	c := Spread{Mean: 0.7, CI95: 0.05}
+	if !Overlaps(a, b) {
+		t.Error("a and b should overlap")
+	}
+	if Overlaps(a, c) {
+		t.Error("a and c should not overlap")
+	}
+}
+
+func TestNodeSweepWithSpread(t *testing.T) {
+	pts := NodeSweepWithSpread(tiny(Direct), []int{12, 24}, 2)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		sp, ok := p.Spreads[MetricDeliveryRatio.Name]
+		if !ok || sp.N != 2 {
+			t.Fatalf("spread missing: %+v", p)
+		}
+		if sp.Mean < 0 || sp.Mean > 1 {
+			t.Errorf("delivery spread mean out of range: %g", sp.Mean)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package metrics accumulates the three figures of merit of the paper's
+// evaluation — delivery ratio, average latency and goodput — plus the
+// auxiliary counters (relays, drops, aborts, expiries, hop counts) that
+// the harness and tests use to explain them.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collector tallies a single simulation run. It is not safe for concurrent
+// use; each run owns one.
+type Collector struct {
+	generated int
+	delivered int
+	relays    int
+	drops     int
+	aborts    int
+	expired   int
+	refused   int
+	contacts  int
+
+	latencySum float64
+	hopSum     int
+	latencies  []float64
+
+	deliveredIDs map[int]bool
+	createdAt    map[int]float64
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{
+		deliveredIDs: make(map[int]bool),
+		createdAt:    make(map[int]float64),
+	}
+}
+
+// MessageCreated records a generated message.
+func (c *Collector) MessageCreated(id int, t float64) {
+	c.generated++
+	c.createdAt[id] = t
+}
+
+// MessageRelayed records one completed node-to-node transfer (including the
+// final hop to the destination) — the denominator of goodput.
+func (c *Collector) MessageRelayed() { c.relays++ }
+
+// MessageDelivered records the arrival of message id at its destination at
+// time t with the given hop count. Duplicate deliveries of the same message
+// are counted once, matching the paper's "at least one replica arrives"
+// success criterion. It reports whether this was the first delivery.
+func (c *Collector) MessageDelivered(id int, t float64, hops int) bool {
+	if c.deliveredIDs[id] {
+		return false
+	}
+	c.deliveredIDs[id] = true
+	c.delivered++
+	lat := t - c.createdAt[id]
+	c.latencySum += lat
+	c.latencies = append(c.latencies, lat)
+	c.hopSum += hops
+	return true
+}
+
+// Delivered reports whether message id has reached its destination.
+func (c *Collector) Delivered(id int) bool { return c.deliveredIDs[id] }
+
+// MessageDropped records a buffer eviction.
+func (c *Collector) MessageDropped() { c.drops++ }
+
+// MessageExpired records a TTL expiry purge.
+func (c *Collector) MessageExpired() { c.expired++ }
+
+// MessageRefused records a buffer refusal (message larger than buffer).
+func (c *Collector) MessageRefused() { c.refused++ }
+
+// TransferAborted records a transfer cut off by contact loss.
+func (c *Collector) TransferAborted() { c.aborts++ }
+
+// ContactStarted records a new pairwise contact.
+func (c *Collector) ContactStarted() { c.contacts++ }
+
+// Contacts returns the number of pairwise contacts observed.
+func (c *Collector) Contacts() int { return c.contacts }
+
+// Generated returns the number of generated messages.
+func (c *Collector) Generated() int { return c.generated }
+
+// DeliveredCount returns the number of distinct delivered messages.
+func (c *Collector) DeliveredCount() int { return c.delivered }
+
+// Relays returns the number of completed transfers.
+func (c *Collector) Relays() int { return c.relays }
+
+// Drops returns the number of buffer evictions.
+func (c *Collector) Drops() int { return c.drops }
+
+// Aborts returns the number of aborted transfers.
+func (c *Collector) Aborts() int { return c.aborts }
+
+// Expired returns the number of TTL purges.
+func (c *Collector) Expired() int { return c.expired }
+
+// DeliveryRatio returns delivered/generated (0 when nothing was generated).
+func (c *Collector) DeliveryRatio() float64 {
+	if c.generated == 0 {
+		return 0
+	}
+	return float64(c.delivered) / float64(c.generated)
+}
+
+// AvgLatency returns the mean delivery delay over delivered messages.
+func (c *Collector) AvgLatency() float64 {
+	if c.delivered == 0 {
+		return 0
+	}
+	return c.latencySum / float64(c.delivered)
+}
+
+// MedianLatency returns the median delivery delay.
+func (c *Collector) MedianLatency() float64 {
+	if len(c.latencies) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), c.latencies...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Goodput returns delivered/relays — the paper's third metric (0 when no
+// transfer completed).
+func (c *Collector) Goodput() float64 {
+	if c.relays == 0 {
+		return 0
+	}
+	return float64(c.delivered) / float64(c.relays)
+}
+
+// OverheadRatio returns (relays-delivered)/delivered, ONE's overhead metric
+// (0 when nothing was delivered).
+func (c *Collector) OverheadRatio() float64 {
+	if c.delivered == 0 {
+		return 0
+	}
+	return float64(c.relays-c.delivered) / float64(c.delivered)
+}
+
+// AvgHops returns the mean hop count of delivered messages.
+func (c *Collector) AvgHops() float64 {
+	if c.delivered == 0 {
+		return 0
+	}
+	return float64(c.hopSum) / float64(c.delivered)
+}
+
+// Summary is a value snapshot of a collector, convenient for averaging
+// across seeds and rendering.
+type Summary struct {
+	Generated, Delivered, Relays, Drops, Aborts, Expired, Contacts int
+	DeliveryRatio, AvgLatency, MedianLatency                       float64
+	Goodput, OverheadRatio, AvgHops                                float64
+}
+
+// Summary returns the current snapshot.
+func (c *Collector) Summary() Summary {
+	return Summary{
+		Generated:     c.generated,
+		Delivered:     c.delivered,
+		Relays:        c.relays,
+		Drops:         c.drops,
+		Aborts:        c.aborts,
+		Expired:       c.expired,
+		Contacts:      c.contacts,
+		DeliveryRatio: c.DeliveryRatio(),
+		AvgLatency:    c.AvgLatency(),
+		MedianLatency: c.MedianLatency(),
+		Goodput:       c.Goodput(),
+		OverheadRatio: c.OverheadRatio(),
+		AvgHops:       c.AvgHops(),
+	}
+}
+
+// String implements fmt.Stringer with the three paper metrics first.
+func (s Summary) String() string {
+	return fmt.Sprintf("delivery=%.3f latency=%.1fs goodput=%.4f (gen=%d del=%d relay=%d drop=%d)",
+		s.DeliveryRatio, s.AvgLatency, s.Goodput, s.Generated, s.Delivered, s.Relays, s.Drops)
+}
+
+// Mean averages a set of summaries component-wise (counts become means
+// too, which keeps the printout informative).
+func Mean(ss []Summary) Summary {
+	if len(ss) == 0 {
+		return Summary{}
+	}
+	var out Summary
+	n := float64(len(ss))
+	for _, s := range ss {
+		out.Generated += s.Generated
+		out.Delivered += s.Delivered
+		out.Relays += s.Relays
+		out.Drops += s.Drops
+		out.Aborts += s.Aborts
+		out.Expired += s.Expired
+		out.Contacts += s.Contacts
+		out.DeliveryRatio += s.DeliveryRatio
+		out.AvgLatency += s.AvgLatency
+		out.MedianLatency += s.MedianLatency
+		out.Goodput += s.Goodput
+		out.OverheadRatio += s.OverheadRatio
+		out.AvgHops += s.AvgHops
+	}
+	out.Generated = int(float64(out.Generated)/n + 0.5)
+	out.Delivered = int(float64(out.Delivered)/n + 0.5)
+	out.Relays = int(float64(out.Relays)/n + 0.5)
+	out.Drops = int(float64(out.Drops)/n + 0.5)
+	out.Aborts = int(float64(out.Aborts)/n + 0.5)
+	out.Expired = int(float64(out.Expired)/n + 0.5)
+	out.Contacts = int(float64(out.Contacts)/n + 0.5)
+	out.DeliveryRatio /= n
+	out.AvgLatency /= n
+	out.MedianLatency /= n
+	out.Goodput /= n
+	out.OverheadRatio /= n
+	out.AvgHops /= n
+	return out
+}

@@ -1,0 +1,64 @@
+// Package msg defines DTN messages and the per-node copies that carry
+// them. The immutable Message is shared by every copy in the network; the
+// mutable routing state — the replica quota of quota-based protocols, the
+// hop count, the arrival time — lives in the per-node Copy.
+package msg
+
+import "fmt"
+
+// Message is an immutable end-to-end message.
+type Message struct {
+	// ID is unique per generated message.
+	ID int
+	// From and To are the source and destination node ids.
+	From, To int
+	// Size is the payload size in bytes; transfers take Size/bandwidth
+	// seconds of link time.
+	Size int
+	// Created is the generation time in seconds.
+	Created float64
+	// Expire is the absolute expiry time: Created + TTL.
+	Expire float64
+}
+
+// TTL returns the total time-to-live of the message.
+func (m *Message) TTL() float64 { return m.Expire - m.Created }
+
+// ResidualTTL returns the remaining lifetime at time t (possibly negative).
+// This is the TTL_k that scales the EEV horizon α·TTL_k in the paper.
+func (m *Message) ResidualTTL(t float64) float64 { return m.Expire - t }
+
+// Expired reports whether the message is past its lifetime at t.
+func (m *Message) Expired(t float64) bool { return t > m.Expire }
+
+// String implements fmt.Stringer.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg %d (%d->%d, %dB)", m.ID, m.From, m.To, m.Size)
+}
+
+// Copy is one node's replica of a message plus its local routing state.
+type Copy struct {
+	M *Message
+	// Replicas is the quota this copy carries (L in Spray-and-Wait, M_k in
+	// the paper's Algorithm 1). Protocols without quotas leave it at 1.
+	Replicas int
+	// Hops counts store-carry-forward hops from the source (0 at source).
+	Hops int
+	// ReceivedAt is when this node obtained the copy (creation time at the
+	// source).
+	ReceivedAt float64
+}
+
+// NewCopy returns the source copy of m with the given initial quota.
+func NewCopy(m *Message, replicas int) *Copy {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Copy{M: m, Replicas: replicas, ReceivedAt: m.Created}
+}
+
+// Fork returns the copy handed to the next hop carrying the given share of
+// the quota, stamped with the arrival time.
+func (c *Copy) Fork(share int, t float64) *Copy {
+	return &Copy{M: c.M, Replicas: share, Hops: c.Hops + 1, ReceivedAt: t}
+}

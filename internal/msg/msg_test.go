@@ -1,0 +1,52 @@
+package msg
+
+import "testing"
+
+func TestMessageTTL(t *testing.T) {
+	m := &Message{ID: 1, From: 0, To: 2, Size: 100, Created: 50, Expire: 1250}
+	if m.TTL() != 1200 {
+		t.Errorf("TTL = %g", m.TTL())
+	}
+	if m.ResidualTTL(650) != 600 {
+		t.Errorf("ResidualTTL = %g", m.ResidualTTL(650))
+	}
+	if m.Expired(1250) {
+		t.Error("message expired exactly at Expire should not count as expired")
+	}
+	if !m.Expired(1250.1) {
+		t.Error("message past Expire should be expired")
+	}
+}
+
+func TestNewCopyClampsReplicas(t *testing.T) {
+	m := &Message{ID: 1, Created: 0, Expire: 100}
+	if c := NewCopy(m, 0); c.Replicas != 1 {
+		t.Errorf("Replicas = %d, want 1", c.Replicas)
+	}
+	if c := NewCopy(m, 10); c.Replicas != 10 {
+		t.Errorf("Replicas = %d, want 10", c.Replicas)
+	}
+}
+
+func TestForkStampsState(t *testing.T) {
+	m := &Message{ID: 1, Created: 0, Expire: 100}
+	c := NewCopy(m, 10)
+	c.Hops = 2
+	f := c.Fork(4, 33)
+	if f.M != m {
+		t.Error("fork must share the message")
+	}
+	if f.Replicas != 4 || f.Hops != 3 || f.ReceivedAt != 33 {
+		t.Errorf("fork state = %+v", f)
+	}
+	if c.Replicas != 10 {
+		t.Error("fork must not mutate the source copy")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	m := &Message{ID: 7, From: 1, To: 2, Size: 64}
+	if got := m.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

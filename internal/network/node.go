@@ -1,0 +1,84 @@
+package network
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/msg"
+)
+
+// Node is one DTN participant: a mover, a finite buffer and a router.
+type Node struct {
+	ID     int
+	Mover  mobility.Mover
+	Buf    *buffer.Buffer
+	Router Router
+
+	pos   geo.Point
+	links []*Link // active contacts, in establishment order
+
+	// deliveredHere records message ids destined to this node that have
+	// already arrived, so duplicate arrivals are not re-counted.
+	deliveredHere map[int]bool
+	// knownDelivered records message ids this node has learned were
+	// delivered (by delivering them itself or, for protocols with ack
+	// propagation such as MaxProp, by gossip). Routers use it to purge
+	// dead copies.
+	knownDelivered map[int]bool
+}
+
+// Pos returns the node's current position.
+func (n *Node) Pos() geo.Point { return n.pos }
+
+// HasCopy reports whether the node buffers a copy of message id.
+func (n *Node) HasCopy(id int) bool { return n.Buf.Has(id) }
+
+// Copy returns the node's buffered copy of message id, or nil.
+func (n *Node) Copy(id int) *msg.Copy { return n.Buf.Get(id) }
+
+// DeliveredHere reports whether message id (destined to this node) already
+// arrived.
+func (n *Node) DeliveredHere(id int) bool { return n.deliveredHere[id] }
+
+// KnowsDelivered reports whether the node has learned that message id
+// reached its destination.
+func (n *Node) KnowsDelivered(id int) bool { return n.knownDelivered[id] }
+
+// LearnDelivered records that the node knows message id was delivered.
+// Routers with ack propagation call this during metadata exchange.
+func (n *Node) LearnDelivered(id int) { n.knownDelivered[id] = true }
+
+// KnownDeliveredIDs returns the set of learned-delivered ids (shared; do
+// not mutate).
+func (n *Node) KnownDeliveredIDs() map[int]bool { return n.knownDelivered }
+
+// InContactWith reports whether the node currently has a contact with peer.
+func (n *Node) InContactWith(peer int) bool {
+	for _, l := range n.links {
+		if l.other(n).ID == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// Contacts returns the ids of the peers currently in contact.
+func (n *Node) Contacts() []int {
+	out := make([]int, 0, len(n.links))
+	for _, l := range n.links {
+		out = append(out, l.other(n).ID)
+	}
+	return out
+}
+
+func (n *Node) addLink(l *Link) { n.links = append(n.links, l) }
+
+func (n *Node) removeLink(l *Link) {
+	for i, x := range n.links {
+		if x == l {
+			copy(n.links[i:], n.links[i+1:])
+			n.links = n.links[:len(n.links)-1]
+			return
+		}
+	}
+}

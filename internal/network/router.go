@@ -1,0 +1,83 @@
+package network
+
+import "repro/internal/msg"
+
+// Router is the protocol logic attached to a node. The engine models the
+// routing-information exchange at contact setup as free (matching the
+// paper's cost accounting, which counts only message relays), so routers
+// may inspect the peer node — and, by type assertion, the peer's router of
+// the same protocol — inside ContactUp and NextTransfer.
+//
+// All calls happen on the single simulation goroutine.
+type Router interface {
+	// Init binds the router to its node and world before the run starts.
+	Init(self *Node, w *World)
+
+	// InitialReplicas returns the replica quota for a message generated at
+	// this node (λ for quota-based protocols, 1 otherwise).
+	InitialReplicas(m *msg.Message) int
+
+	// ContactUp fires when a contact with peer begins. The lower-id node's
+	// router is called first.
+	ContactUp(t float64, peer *Node)
+
+	// ContactDown fires when the contact with peer ends.
+	ContactDown(t float64, peer *Node)
+
+	// NextTransfer returns the next message to send to peer, or nil when
+	// the router has nothing (more) to offer on this contact right now.
+	// The engine re-asks after each completed transfer and whenever new
+	// messages appear at either endpoint. Plans must pass engine
+	// validation: the sender holds the message and the peer neither holds
+	// it nor, if it is the destination, has already received it.
+	NextTransfer(t float64, peer *Node) *Plan
+
+	// Created fires after a locally generated message copy was buffered.
+	Created(t float64, c *msg.Copy)
+
+	// Received fires after a copy arrived from a peer and was buffered.
+	// It is not called for final-destination deliveries.
+	Received(t float64, c *msg.Copy, from *Node)
+
+	// Sent fires on the sender after a transfer completes, with the
+	// engine-applied plan (quota already deducted / copy already removed).
+	// delivered reports whether peer was the message's final destination.
+	Sent(t float64, plan *Plan, peer *Node, delivered bool)
+}
+
+// Plan describes one intended transfer.
+type Plan struct {
+	// Msg is the message to transfer; the sender must buffer it.
+	Msg *msg.Message
+	// Give is the replica quota carried by the receiver's new copy (>= 1).
+	Give int
+	// KeepAfter is the sender's replica count after success:
+	// 0 removes the sender's copy (a forward), a positive value sets the
+	// remaining quota (a quota split), and KeepUnchanged leaves the
+	// sender's copy untouched (a plain replication).
+	KeepAfter int
+}
+
+// KeepUnchanged as Plan.KeepAfter leaves the sender copy's quota as is.
+const KeepUnchanged = -1
+
+// Forward returns a plan that moves the sender's whole copy (quota and
+// all) to the peer.
+func Forward(c *msg.Copy) *Plan {
+	return &Plan{Msg: c.M, Give: c.Replicas, KeepAfter: 0}
+}
+
+// Replicate returns a plan that hands the peer a 1-quota copy and leaves
+// the sender untouched (epidemic-style replication).
+func Replicate(c *msg.Copy) *Plan {
+	return &Plan{Msg: c.M, Give: 1, KeepAfter: KeepUnchanged}
+}
+
+// Split returns a plan that gives the peer `give` replicas and keeps the
+// remainder. It panics unless 1 <= give < c.Replicas.
+func Split(c *msg.Copy, give int) *Plan {
+	if give < 1 || give >= c.Replicas {
+		panic("network: Split share out of range")
+	}
+	return &Plan{Msg: c.M, Give: give, KeepAfter: c.Replicas - give}
+}

@@ -1,0 +1,370 @@
+// Package network is the DTN simulation engine: nodes with movers, finite
+// buffers and routers; spatial-hash contact detection each tick;
+// bandwidth-limited one-at-a-time transfers per contact with abort on
+// contact loss; TTL expiry; and delivery/relay accounting. Together with
+// package sim it plays the role the ONE simulator played for the paper.
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Config holds the physical-layer parameters of a scenario. The paper's
+// values: 10 m range, 2 Mb/s (250000 B/s), 0.1 s update interval.
+type Config struct {
+	// Range is the radio range in metres.
+	Range float64
+	// Bandwidth is the link throughput in bytes per second.
+	Bandwidth float64
+	// ExpirySweepEvery purges expired messages every that many ticks
+	// (default 10).
+	ExpirySweepEvery int
+}
+
+// DefaultConfig returns the paper's physical parameters.
+func DefaultConfig() Config {
+	return Config{Range: 10, Bandwidth: 250000, ExpirySweepEvery: 10}
+}
+
+// World owns the nodes and advances the DTN each tick.
+type World struct {
+	Metrics *metrics.Collector
+
+	cfg    Config
+	runner *sim.Runner
+	nodes  []*Node
+
+	linkList []*Link // active links in establishment order
+	linkIdx  map[uint64]*Link
+
+	grid      cellGrid
+	pairBuf   [][2]int32
+	lastTick  float64
+	tickCount uint64
+	nextMsgID int
+	started   bool
+
+	// onDeliver hooks observe deliveries (tests, per-message ledgers).
+	onDeliver []func(t float64, m *msg.Message, hops int)
+}
+
+// New returns an empty world driven by runner.
+func New(cfg Config, runner *sim.Runner) *World {
+	if cfg.Range <= 0 || cfg.Bandwidth <= 0 {
+		panic("network: range and bandwidth must be positive")
+	}
+	if cfg.ExpirySweepEvery <= 0 {
+		cfg.ExpirySweepEvery = 10
+	}
+	w := &World{
+		Metrics: metrics.New(),
+		cfg:     cfg,
+		runner:  runner,
+		linkIdx: make(map[uint64]*Link),
+	}
+	w.grid.init(cfg.Range)
+	runner.AddTicker(w)
+	return w
+}
+
+// Config returns the physical configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Runner returns the simulation driver.
+func (w *World) Runner() *sim.Runner { return w.runner }
+
+// Now returns the current simulated time.
+func (w *World) Now() float64 { return w.runner.Now() }
+
+// Nodes returns all nodes (shared; do not mutate).
+func (w *World) Nodes() []*Node { return w.nodes }
+
+// Node returns the node with the given id.
+func (w *World) Node(id int) *Node { return w.nodes[id] }
+
+// N returns the number of nodes.
+func (w *World) N() int { return len(w.nodes) }
+
+// AddNode creates a node with the given mover, buffer and router. Nodes
+// must all be added before Start.
+func (w *World) AddNode(m mobility.Mover, buf *buffer.Buffer, r Router) *Node {
+	if w.started {
+		panic("network: AddNode after Start")
+	}
+	n := &Node{
+		ID:             len(w.nodes),
+		Mover:          m,
+		Buf:            buf,
+		Router:         r,
+		pos:            m.Pos(),
+		deliveredHere:  make(map[int]bool),
+		knownDelivered: make(map[int]bool),
+	}
+	w.nodes = append(w.nodes, n)
+	return n
+}
+
+// OnDeliver registers a delivery observer.
+func (w *World) OnDeliver(f func(t float64, m *msg.Message, hops int)) {
+	w.onDeliver = append(w.onDeliver, f)
+}
+
+// Start initialises every router. It must be called once, after all nodes
+// are added and before the runner runs.
+func (w *World) Start() {
+	if w.started {
+		panic("network: Start called twice")
+	}
+	w.started = true
+	for _, n := range w.nodes {
+		n.Router.Init(n, w)
+	}
+}
+
+// CreateMessage injects a new message at node from destined to node to,
+// asks the router for its quota, and buffers the source copy. It returns
+// the message (nil if the source buffer refused it).
+func (w *World) CreateMessage(t float64, from, to, size int, ttl float64) *msg.Message {
+	if from == to {
+		panic("network: message source equals destination")
+	}
+	w.nextMsgID++
+	m := &msg.Message{ID: w.nextMsgID, From: from, To: to, Size: size, Created: t, Expire: t + ttl}
+	w.Metrics.MessageCreated(m.ID, t)
+	src := w.nodes[from]
+	c := msg.NewCopy(m, src.Router.InitialReplicas(m))
+	dropped, ok := src.Buf.Add(t, c)
+	for range dropped {
+		w.Metrics.MessageDropped()
+	}
+	if !ok {
+		w.Metrics.MessageRefused()
+		return nil
+	}
+	src.Router.Created(t, c)
+	w.wake(src, t)
+	return m
+}
+
+// wake re-pumps every active link of n — a new relay opportunity appeared.
+func (w *World) wake(n *Node, t float64) {
+	for _, l := range n.links {
+		l.pump(w, t)
+	}
+}
+
+// Tick implements sim.Ticker: moves nodes, updates contacts and sweeps
+// expired messages.
+func (w *World) Tick(t float64) {
+	dt := t - w.lastTick
+	w.lastTick = t
+	w.tickCount++
+	for _, n := range w.nodes {
+		n.pos = n.Mover.Step(dt)
+	}
+	w.updateContacts(t)
+	if w.tickCount%uint64(w.cfg.ExpirySweepEvery) == 0 {
+		w.sweepExpired(t)
+	}
+}
+
+func linkKey(a, b int) uint64 { return uint64(a)<<32 | uint64(uint32(b)) }
+
+// updateContacts diffs the in-range pair set against active links.
+func (w *World) updateContacts(t float64) {
+	pairs := w.grid.pairs(w.nodes, w.pairBuf[:0])
+	w.pairBuf = pairs
+
+	gen := w.tickCount
+	var newPairs [][2]int32
+	for _, p := range pairs {
+		if l, ok := w.linkIdx[linkKey(int(p[0]), int(p[1]))]; ok {
+			l.gen = gen
+			continue
+		}
+		newPairs = append(newPairs, p)
+	}
+	// Tear down stale links first so buffers/state settle before new
+	// contacts exchange metadata. Iterate the ordered list for
+	// determinism.
+	keep := w.linkList[:0]
+	for _, l := range w.linkList {
+		if l.gen == gen {
+			keep = append(keep, l)
+			continue
+		}
+		w.contactDown(l, t)
+	}
+	w.linkList = keep
+	// Establish new contacts in ascending pair order.
+	sort.Slice(newPairs, func(i, j int) bool {
+		if newPairs[i][0] != newPairs[j][0] {
+			return newPairs[i][0] < newPairs[j][0]
+		}
+		return newPairs[i][1] < newPairs[j][1]
+	})
+	for _, p := range newPairs {
+		w.contactUp(w.nodes[p[0]], w.nodes[p[1]], t, gen)
+	}
+}
+
+func (w *World) contactUp(a, b *Node, t float64, gen uint64) {
+	w.Metrics.ContactStarted()
+	l := &Link{a: a, b: b, since: t, gen: gen}
+	w.linkIdx[linkKey(a.ID, b.ID)] = l
+	w.linkList = append(w.linkList, l)
+	a.addLink(l)
+	b.addLink(l)
+	a.Router.ContactUp(t, b)
+	b.Router.ContactUp(t, a)
+	l.pump(w, t)
+}
+
+func (w *World) contactDown(l *Link, t float64) {
+	l.abort(w)
+	delete(w.linkIdx, linkKey(l.a.ID, l.b.ID))
+	l.a.removeLink(l)
+	l.b.removeLink(l)
+	l.a.Router.ContactDown(t, l.b)
+	l.b.Router.ContactDown(t, l.a)
+}
+
+// completeTransfer applies a finished transfer: delivery or relay, quota
+// bookkeeping, router notifications, and the next pump.
+func (w *World) completeTransfer(l *Link, t float64) {
+	tr := l.cur
+	l.cur = nil
+	plan, from, to := tr.plan, tr.from, tr.to
+
+	senderCopy := from.Copy(plan.Msg.ID)
+	if senderCopy == nil {
+		// The sender's buffer evicted the message mid-transfer; the data
+		// cannot complete.
+		w.Metrics.TransferAborted()
+		l.pump(w, t)
+		return
+	}
+	w.Metrics.MessageRelayed()
+
+	m := plan.Msg
+	switch {
+	case m.To == to.ID:
+		// Final delivery. Late (expired) arrivals count as relays only.
+		if !m.Expired(t) && !to.deliveredHere[m.ID] {
+			to.deliveredHere[m.ID] = true
+			if w.Metrics.MessageDelivered(m.ID, t, senderCopy.Hops+1) {
+				for _, f := range w.onDeliver {
+					f(t, m, senderCopy.Hops+1)
+				}
+			}
+		}
+		// Both endpoints now know the message is done.
+		from.LearnDelivered(m.ID)
+		to.LearnDelivered(m.ID)
+		from.Buf.Remove(m.ID)
+		from.Router.Sent(t, plan, to, true)
+		w.wake(from, t)
+	case to.HasCopy(m.ID):
+		// A copy raced in from a third node mid-flight. Nothing changes;
+		// the bytes were still spent.
+		from.Router.Sent(t, plan, to, false)
+	default:
+		nc := senderCopy.Fork(plan.Give, t)
+		dropped, ok := to.Buf.Add(t, nc)
+		for range dropped {
+			w.Metrics.MessageDropped()
+		}
+		if ok {
+			switch {
+			case plan.KeepAfter == 0:
+				from.Buf.Remove(m.ID)
+			case plan.KeepAfter > 0:
+				senderCopy.Replicas = plan.KeepAfter
+			}
+			from.Router.Sent(t, plan, to, false)
+			to.Router.Received(t, nc, from)
+			w.wake(to, t)
+			w.wake(from, t)
+		} else {
+			w.Metrics.MessageRefused()
+			from.Router.Sent(t, plan, to, false)
+		}
+	}
+	l.pump(w, t)
+}
+
+// sweepExpired purges expired copies from every buffer.
+func (w *World) sweepExpired(t float64) {
+	for _, n := range w.nodes {
+		for range n.Buf.DropExpired(t) {
+			w.Metrics.MessageExpired()
+		}
+	}
+}
+
+// cellGrid is a spatial hash over node positions with cell size equal to
+// the radio range, so in-range pairs always sit in adjacent cells.
+type cellGrid struct {
+	cell  float64
+	cells map[uint64][]int32
+}
+
+func (g *cellGrid) init(cell float64) {
+	g.cell = cell
+	g.cells = make(map[uint64][]int32)
+}
+
+func cellKeyOf(cx, cy int32) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// pairs returns all node pairs (a < b) within range, appended to out.
+func (g *cellGrid) pairs(nodes []*Node, out [][2]int32) [][2]int32 {
+	for k := range g.cells {
+		delete(g.cells, k)
+	}
+	type cc struct{ cx, cy int32 }
+	coords := make([]cc, len(nodes))
+	for i, n := range nodes {
+		cx := int32(math.Floor(n.pos.X / g.cell))
+		cy := int32(math.Floor(n.pos.Y / g.cell))
+		coords[i] = cc{cx, cy}
+		key := cellKeyOf(cx, cy)
+		g.cells[key] = append(g.cells[key], int32(i))
+	}
+	r2 := g.cell * g.cell
+	for i, n := range nodes {
+		ci := coords[i]
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				bucket := g.cells[cellKeyOf(ci.cx+dx, ci.cy+dy)]
+				for _, j := range bucket {
+					if int(j) <= i {
+						continue
+					}
+					if n.pos.Dist2(nodes[j].pos) <= r2 {
+						out = append(out, [2]int32{int32(i), j})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DumpState returns a human-readable snapshot for debugging.
+func (w *World) DumpState() string {
+	s := fmt.Sprintf("t=%.1f nodes=%d links=%d\n", w.Now(), len(w.nodes), len(w.linkList))
+	for _, n := range w.nodes {
+		s += fmt.Sprintf("  node %d at %v buf=%d/%dB msgs=%d\n", n.ID, n.pos, n.Buf.Used(), n.Buf.Capacity(), n.Buf.Len())
+	}
+	return s
+}

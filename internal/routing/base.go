@@ -1,0 +1,168 @@
+// Package routing implements the protocols of the paper's evaluation —
+// EER and CR (the contributions) plus the EBR, MaxProp, Spray-and-Wait and
+// Spray-and-Focus baselines — along with the reference protocols Epidemic,
+// PRoPHET, Direct Delivery and First Contact used by tests and ablations.
+//
+// Protocol metadata exchange (summary vectors, MI rows, encounter values,
+// delivered-acks) is modelled as free at contact setup, matching both ONE
+// and the paper's cost accounting; only message transfers consume link
+// bandwidth and count as relays.
+package routing
+
+import (
+	"repro/internal/msg"
+	"repro/internal/network"
+)
+
+// Base provides the plumbing shared by every router: node/world binding,
+// default no-op hooks, candidate filtering and the per-contact no-return
+// guard that stops two nodes bouncing a single-copy message back and forth
+// within one contact.
+type Base struct {
+	Self  *network.Node
+	World *network.World
+
+	// receivedFrom maps message id -> peer id the copy arrived from, kept
+	// while the contact with that peer persists.
+	receivedFrom map[int]int
+}
+
+// Init implements network.Router.
+func (b *Base) Init(self *network.Node, w *network.World) {
+	b.Self = self
+	b.World = w
+	b.receivedFrom = make(map[int]int)
+}
+
+// InitialReplicas implements network.Router with a single copy.
+func (b *Base) InitialReplicas(*msg.Message) int { return 1 }
+
+// ContactUp implements network.Router as a no-op.
+func (b *Base) ContactUp(float64, *network.Node) {}
+
+// ContactDown implements network.Router, releasing no-return guards held
+// for the departing peer.
+func (b *Base) ContactDown(_ float64, peer *network.Node) {
+	for id, from := range b.receivedFrom {
+		if from == peer.ID {
+			delete(b.receivedFrom, id)
+		}
+	}
+}
+
+// Created implements network.Router as a no-op.
+func (b *Base) Created(float64, *msg.Copy) {}
+
+// Received implements network.Router by arming the no-return guard.
+func (b *Base) Received(_ float64, c *msg.Copy, from *network.Node) {
+	b.receivedFrom[c.M.ID] = from.ID
+}
+
+// Sent implements network.Router as a no-op.
+func (b *Base) Sent(float64, *network.Plan, *network.Node, bool) {}
+
+// NoReturn reports whether the copy of message id was received from peer
+// during the still-active contact, in which case sending it back would be
+// a pure waste.
+func (b *Base) NoReturn(id int, peer *network.Node) bool {
+	from, ok := b.receivedFrom[id]
+	return ok && from == peer.ID
+}
+
+// Sendable reports whether copy c is worth offering to peer at time t:
+// not expired, not already held by the peer, not known delivered, not
+// bounced straight back, and not a re-delivery.
+func (b *Base) Sendable(t float64, c *msg.Copy, peer *network.Node) bool {
+	m := c.M
+	if m.Expired(t) {
+		return false
+	}
+	if peer.HasCopy(m.ID) {
+		return false
+	}
+	if b.Self.KnowsDelivered(m.ID) {
+		return false
+	}
+	if m.To == peer.ID && peer.DeliveredHere(m.ID) {
+		return false
+	}
+	if b.NoReturn(m.ID, peer) {
+		return false
+	}
+	return true
+}
+
+// DeliverDirect returns a plan delivering the first buffered message
+// destined to peer, or nil. Every protocol gives final-hop delivery top
+// priority.
+func (b *Base) DeliverDirect(t float64, peer *network.Node) *network.Plan {
+	for _, c := range b.Self.Buf.All() {
+		if c.M.To == peer.ID && b.Sendable(t, c, peer) {
+			return network.Forward(c)
+		}
+	}
+	return nil
+}
+
+// Candidates returns the buffered copies sendable to peer, in buffer
+// (insertion) order, excluding those destined to peer (DeliverDirect
+// handles them first).
+func (b *Base) Candidates(t float64, peer *network.Node) []*msg.Copy {
+	var out []*msg.Copy
+	for _, c := range b.Self.Buf.All() {
+		if c.M.To != peer.ID && b.Sendable(t, c, peer) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// PurgeKnownDelivered drops buffered copies of messages the node knows
+// were delivered. Protocols with ack gossip (MaxProp) call it after
+// merging ack sets.
+func (b *Base) PurgeKnownDelivered() {
+	buf := b.Self.Buf
+	var ids []int
+	for _, c := range buf.All() {
+		if b.Self.KnowsDelivered(c.M.ID) {
+			ids = append(ids, c.M.ID)
+		}
+	}
+	for _, id := range ids {
+		buf.Remove(id)
+	}
+}
+
+// QuotaShare computes the floor split of Algorithm 1 line 10: the number
+// of replicas (out of total) handed to the peer whose weight is wPeer
+// against the holder's wSelf. When both weights vanish the split is even,
+// a documented convention.
+func QuotaShare(total int, wSelf, wPeer float64) int {
+	if total < 1 {
+		return 0
+	}
+	if wSelf <= 0 && wPeer <= 0 {
+		return total / 2
+	}
+	share := int(float64(total) * wPeer / (wSelf + wPeer))
+	if share < 0 {
+		share = 0
+	}
+	if share > total {
+		share = total
+	}
+	return share
+}
+
+// SplitPlan turns a quota share into a plan: nil when the share is zero, a
+// full forward when the share is everything, a split otherwise.
+func SplitPlan(c *msg.Copy, share int) *network.Plan {
+	switch {
+	case share <= 0:
+		return nil
+	case share >= c.Replicas:
+		return network.Forward(c)
+	default:
+		return network.Split(c, share)
+	}
+}

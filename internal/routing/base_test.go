@@ -1,0 +1,114 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+// TestSendableFilters pins each filter of Base.Sendable.
+func TestSendableFilters(t *testing.T) {
+	h := newHarness(t, 4, func(int) network.Router { return NewDirect() })
+	m := h.send(0, 3, 100) // TTL 100
+	r0 := h.w.Node(0).Router.(*Direct)
+	c := h.w.Node(0).Copy(m.ID)
+	peer := h.w.Node(1)
+
+	if !r0.Sendable(h.runner.Now(), c, peer) {
+		t.Fatal("fresh copy should be sendable")
+	}
+	// Expired message.
+	if r0.Sendable(h.runner.Now()+1000, c, peer) {
+		t.Error("expired message still sendable")
+	}
+	// Known delivered.
+	h.w.Node(0).LearnDelivered(m.ID)
+	if r0.Sendable(h.runner.Now(), c, peer) {
+		t.Error("known-delivered message still sendable")
+	}
+}
+
+func TestSendablePeerHoldsCopy(t *testing.T) {
+	h := newHarness(t, 3, func(int) network.Router { return NewEpidemic() })
+	m := h.send(0, 2, 1e6)
+	h.meet(0, 1, 3) // peer 1 now holds a copy
+	r0 := h.w.Node(0).Router.(*Epidemic)
+	c := h.w.Node(0).Copy(m.ID)
+	if r0.Sendable(h.runner.Now(), c, h.w.Node(1)) {
+		t.Error("copy held by peer still sendable")
+	}
+}
+
+func TestCandidatesExcludesDirect(t *testing.T) {
+	h := newHarness(t, 3, func(int) network.Router { return NewEpidemic() })
+	mDirect := h.send(0, 1, 1e6) // destined to the peer we'll ask about
+	mRelay := h.send(0, 2, 1e6)  // destined elsewhere
+	r0 := h.w.Node(0).Router.(*Epidemic)
+	peer := h.w.Node(1)
+	cands := r0.Candidates(0, peer)
+	if len(cands) != 1 || cands[0].M.ID != mRelay.ID {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if p := r0.DeliverDirect(0, peer); p == nil || p.Msg.ID != mDirect.ID {
+		t.Fatalf("DeliverDirect = %+v", p)
+	}
+}
+
+func TestPurgeKnownDelivered(t *testing.T) {
+	h := newHarness(t, 3, func(int) network.Router { return NewEpidemic() })
+	m1 := h.send(0, 1, 1e6)
+	m2 := h.send(0, 2, 1e6)
+	n0 := h.w.Node(0)
+	n0.LearnDelivered(m1.ID)
+	r0 := n0.Router.(*Epidemic)
+	r0.PurgeKnownDelivered()
+	if n0.HasCopy(m1.ID) {
+		t.Error("known-delivered copy survived the purge")
+	}
+	if !n0.HasCopy(m2.ID) {
+		t.Error("live copy was purged")
+	}
+}
+
+// TestNoReturnClearsOnContactDown: the guard lasts only while the contact
+// with the origin peer persists.
+func TestNoReturnClearsOnContactDown(t *testing.T) {
+	h := newHarness(t, 2, func(int) network.Router { return NewFirstContact() })
+	m := h.send(0, 1, 1e6)
+	_ = m
+	h.meet(0, 1, 5) // delivers directly; also sets guards along the way
+	r1 := h.w.Node(1).Router.(*FirstContact)
+	// After the contact ends, no guard may linger.
+	for id := range r1.receivedFrom {
+		t.Errorf("guard for message %d lingers after contact down", id)
+	}
+}
+
+// TestForwardPlanHelpers pins the plan constructors' invariants.
+func TestForwardPlanHelpers(t *testing.T) {
+	h := newHarness(t, 2, func(int) network.Router { return NewDirect() })
+	m := h.send(0, 1, 1e6)
+	c := h.w.Node(0).Copy(m.ID)
+	c.Replicas = 6
+
+	if p := network.Forward(c); p.Give != 6 || p.KeepAfter != 0 {
+		t.Errorf("Forward = %+v", p)
+	}
+	if p := network.Replicate(c); p.Give != 1 || p.KeepAfter != network.KeepUnchanged {
+		t.Errorf("Replicate = %+v", p)
+	}
+	if p := network.Split(c, 2); p.Give != 2 || p.KeepAfter != 4 {
+		t.Errorf("Split = %+v", p)
+	}
+	for _, bad := range []int{0, 6, 7} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Split(%d) should panic", bad)
+				}
+			}()
+			network.Split(c, bad)
+		}()
+	}
+}

@@ -1,0 +1,245 @@
+package routing
+
+import (
+	"math"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/network"
+)
+
+// CRConfig parameterises the CR router.
+type CRConfig struct {
+	// Lambda is the initial replica quota λ (paper default 10).
+	Lambda int
+	// Alpha scales the ENEC/EEV horizon to α·TTL_k (paper value 0.28).
+	Alpha float64
+	// Window is the sliding-window capacity per peer.
+	Window int
+}
+
+// DefaultCRConfig returns the paper's parameters with quota lambda.
+func DefaultCRConfig(lambda int) CRConfig {
+	return CRConfig{Lambda: lambda, Alpha: 0.28}
+}
+
+// crShared is per-world state shared by all CR routers: the community
+// registry and one MEMD scratch per community size.
+type crShared struct {
+	reg  *community.Registry
+	memd map[int]*core.MEMD // keyed by community size
+}
+
+func (s *crShared) memdFor(size int) *core.MEMD {
+	m, ok := s.memd[size]
+	if !ok {
+		m = core.NewMEMD(size)
+		s.memd[size] = m
+	}
+	return m
+}
+
+// CR implements the paper's Community based Routing (Section IV,
+// Algorithms 2–4). Inter-community: quota split by expected number of
+// encountered communities (Theorem 4), single replica forwarded toward the
+// higher destination-community probability, and everything handed over on
+// meeting a destination-community member. Intra-community: EER restricted
+// to the community — intra MI/MD and intra EEV' — which is the protocol's
+// state-size advantage over EER.
+type CR struct {
+	Base
+	cfg    CRConfig
+	shared *crShared
+
+	hist    *core.History
+	intraMI *core.MeetingMatrix // covers only the node's community
+	ownComm int
+
+	contacts map[int]*crContact
+}
+
+// crContact caches per-contact estimator state at meeting time.
+type crContact struct {
+	t0      float64
+	snap    *core.EEVSnapshot
+	memd    map[int]float64 // intra-community MEMD by destination id
+	decided map[int]crDecision
+}
+
+// crDecision is the meeting-time decision for one message.
+type crDecision struct {
+	handAll      bool    // peer is in the destination community: give everything
+	skip         bool    // Algorithm 4 line 1: peer outside our community
+	wSelf, wPeer float64 // quota weights (ENEC inter, EEV' intra)
+	forward      bool    // single replica: hand over?
+}
+
+// NewCR returns a CR router; use CRFactory so routers share the registry
+// and scratch.
+func NewCR(cfg CRConfig, shared *crShared) *CR {
+	if cfg.Lambda < 1 {
+		panic("routing: CR lambda must be >= 1")
+	}
+	return &CR{cfg: cfg, shared: shared}
+}
+
+// CRFactory returns a constructor producing CR routers over the given
+// community registry.
+func CRFactory(cfg CRConfig, reg *community.Registry) func() *CR {
+	shared := &crShared{reg: reg, memd: make(map[int]*core.MEMD)}
+	return func() *CR { return NewCR(cfg, shared) }
+}
+
+// Config returns the router's configuration.
+func (r *CR) Config() CRConfig { return r.cfg }
+
+// Registry returns the community registry.
+func (r *CR) Registry() *community.Registry { return r.shared.reg }
+
+// History exposes the contact history (tests, trace tools).
+func (r *CR) History() *core.History { return r.hist }
+
+// IntraMI exposes the intra-community meeting-interval matrix.
+func (r *CR) IntraMI() *core.MeetingMatrix { return r.intraMI }
+
+// InitialReplicas implements network.Router.
+func (r *CR) InitialReplicas(*msg.Message) int { return r.cfg.Lambda }
+
+// Init implements network.Router.
+func (r *CR) Init(self *network.Node, w *network.World) {
+	r.Base.Init(self, w)
+	r.hist = core.NewHistory(self.ID, w.N(), r.cfg.Window)
+	r.ownComm = r.shared.reg.Of(self.ID)
+	r.intraMI = core.NewMeetingMatrix(r.shared.reg.Members(r.ownComm))
+	r.contacts = make(map[int]*crContact)
+}
+
+// ContactUp implements network.Router: record the meeting and, within the
+// community, refresh and exchange the intra-community MI (Algorithm 4
+// lines 2–3).
+func (r *CR) ContactUp(t float64, peer *network.Node) {
+	r.hist.RecordContact(peer.ID, t)
+	if pr, ok := peer.Router.(*CR); ok && pr.ownComm == r.ownComm {
+		r.intraMI.UpdateOwnRow(r.Self.ID, t, r.hist)
+		core.SyncPair(r.intraMI, pr.intraMI)
+	}
+	r.contacts[peer.ID] = &crContact{t0: t, decided: make(map[int]crDecision)}
+}
+
+// ContactDown implements network.Router.
+func (r *CR) ContactDown(t float64, peer *network.Node) {
+	r.Base.ContactDown(t, peer)
+	delete(r.contacts, peer.ID)
+}
+
+func (r *CR) snapshot(st *crContact) *core.EEVSnapshot {
+	if st.snap == nil {
+		st.snap = r.hist.SnapshotEEV(st.t0)
+	}
+	return st.snap
+}
+
+// intraMEMD returns the intra-community MEMD' to dst at the contact's
+// meeting time.
+func (r *CR) intraMEMD(st *crContact, dst int) float64 {
+	if st.memd == nil {
+		calc := r.shared.memdFor(r.intraMI.Size())
+		calc.Compute(r.Self.ID, st.t0, r.hist, r.intraMI)
+		st.memd = make(map[int]float64, r.intraMI.Size())
+		dists := calc.Distances()
+		for i, id := range r.intraMI.IDs() {
+			st.memd[id] = dists[i]
+		}
+	}
+	d, ok := st.memd[dst]
+	if !ok {
+		return math.Inf(1)
+	}
+	return d
+}
+
+func (r *CR) horizon(m *msg.Message, t float64) float64 {
+	res := m.ResidualTTL(t)
+	if res < 0 {
+		res = 0
+	}
+	return r.cfg.Alpha * res
+}
+
+// decide applies Algorithm 3 (inter-community) or Algorithm 4
+// (intra-community) at meeting time.
+func (r *CR) decide(st *crContact, peer *network.Node, pr *CR, c *msg.Copy) crDecision {
+	var d crDecision
+	reg := r.shared.reg
+	destComm := reg.Of(c.M.To)
+	peerComm := pr.ownComm
+	tau := r.horizon(c.M, st.t0)
+
+	peerSt := pr.contacts[r.Self.ID]
+	if peerSt == nil {
+		peerSt = &crContact{t0: st.t0, decided: map[int]crDecision{}}
+	}
+
+	if r.ownComm != destComm {
+		// Inter-community routing (Algorithm 3).
+		if peerComm == destComm {
+			d.handAll = true
+			return d
+		}
+		d.wSelf = r.snapshot(st).ENEC(tau, reg.Communities(), r.ownComm)
+		d.wPeer = pr.snapshot(peerSt).ENEC(tau, reg.Communities(), peerComm)
+		pic := r.snapshot(st).CommunityProb(tau, reg.Members(destComm))
+		pjc := pr.snapshot(peerSt).CommunityProb(tau, reg.Members(destComm))
+		d.forward = pic < pjc
+		return d
+	}
+	// Intra-community routing (Algorithm 4): only members of the
+	// destination community participate.
+	if peerComm != r.ownComm {
+		d.skip = true
+		return d
+	}
+	members := reg.Members(r.ownComm)
+	d.wSelf = r.snapshot(st).EEVSubset(tau, members)
+	d.wPeer = pr.snapshot(peerSt).EEVSubset(tau, members)
+	myD := r.intraMEMD(st, c.M.To)
+	peerD := pr.intraMEMD(peerSt, c.M.To)
+	d.forward = myD > peerD && !(math.IsInf(myD, 1) && math.IsInf(peerD, 1))
+	return d
+}
+
+// NextTransfer implements network.Router (Algorithms 2–4).
+func (r *CR) NextTransfer(t float64, peer *network.Node) *network.Plan {
+	if p := r.DeliverDirect(t, peer); p != nil {
+		return p
+	}
+	pr, ok := peer.Router.(*CR)
+	if !ok {
+		return nil
+	}
+	st := r.contacts[peer.ID]
+	if st == nil {
+		return nil
+	}
+	for _, c := range r.Candidates(t, peer) {
+		d, seen := st.decided[c.M.ID]
+		if !seen {
+			d = r.decide(st, peer, pr, c)
+			st.decided[c.M.ID] = d
+		}
+		switch {
+		case d.skip:
+			continue
+		case d.handAll:
+			return network.Forward(c)
+		case c.Replicas > 1:
+			if p := SplitPlan(c, QuotaShare(c.Replicas, d.wSelf, d.wPeer)); p != nil {
+				return p
+			}
+		case d.forward:
+			return network.Forward(c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package routing
+
+import (
+	"repro/internal/msg"
+	"repro/internal/network"
+)
+
+// EBR implements Nelson et al.'s Encounter-Based Routing, the paper's
+// primary point of comparison. Each node maintains an exponentially
+// weighted encounter value EV updated once per window interval from the
+// current window counter CWC; on contact, a message's replicas are split
+// in proportion to the two EVs. EBR's EV is identical for all messages and
+// independent of their TTLs — exactly the deficiency the paper's
+// TTL-scaled EEV addresses.
+type EBR struct {
+	Base
+	// Lambda is the initial replica quota λ.
+	Lambda int
+	// WindowInterval is the EV update period W in seconds (default 30, as
+	// in the EBR paper).
+	WindowInterval float64
+	// AlphaEWMA is the EWMA weight on the current window (default 0.85).
+	AlphaEWMA float64
+
+	ev  float64
+	cwc int
+}
+
+// NewEBR returns an EBR router with quota lambda and the original
+// constants.
+func NewEBR(lambda int) *EBR {
+	return &EBR{Lambda: lambda, WindowInterval: 30, AlphaEWMA: 0.85}
+}
+
+// InitialReplicas implements network.Router.
+func (r *EBR) InitialReplicas(*msg.Message) int { return r.Lambda }
+
+// Init implements network.Router and schedules the periodic EV update.
+func (r *EBR) Init(self *network.Node, w *network.World) {
+	r.Base.Init(self, w)
+	var tick func(t float64)
+	tick = func(t float64) {
+		r.ev = r.AlphaEWMA*float64(r.cwc) + (1-r.AlphaEWMA)*r.ev
+		r.cwc = 0
+		w.Runner().Events.Schedule(t+r.WindowInterval, tick)
+	}
+	w.Runner().Events.Schedule(w.Now()+r.WindowInterval, tick)
+}
+
+// EV returns the current encounter value.
+func (r *EBR) EV() float64 { return r.ev }
+
+// ContactUp implements network.Router.
+func (r *EBR) ContactUp(float64, *network.Node) { r.cwc++ }
+
+// NextTransfer implements network.Router.
+func (r *EBR) NextTransfer(t float64, peer *network.Node) *network.Plan {
+	if p := r.DeliverDirect(t, peer); p != nil {
+		return p
+	}
+	pr, ok := peer.Router.(*EBR)
+	if !ok {
+		return nil
+	}
+	for _, c := range r.Candidates(t, peer) {
+		if c.Replicas <= 1 {
+			continue // wait phase: EBR only delivers the last copy directly
+		}
+		share := QuotaShare(c.Replicas, r.ev, pr.ev)
+		// EBR never relinquishes its own last replica during spraying.
+		if share >= c.Replicas {
+			share = c.Replicas - 1
+		}
+		if p := SplitPlan(c, share); p != nil {
+			return p
+		}
+	}
+	return nil
+}

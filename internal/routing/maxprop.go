@@ -1,0 +1,212 @@
+package routing
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/msg"
+	"repro/internal/network"
+)
+
+// MaxProp implements Burgess et al.'s MaxProp, the epidemic-family
+// comparison protocol of the paper's Figure 2. Implemented features:
+// incrementally averaged (sum-normalised) meeting probabilities, flooded
+// probability vectors, Dijkstra path costs Σ(1−p), transmission priority —
+// destination-direct first, then low-hop messages, then ascending cost —
+// delivered-message acks that purge copies network-wide, and a cost-aware
+// drop order. Simplification (documented in DESIGN.md): the hop-count
+// priority threshold is a fixed configurable value instead of MaxProp's
+// adaptive byte-based estimate.
+type MaxProp struct {
+	Base
+	// HopThreshold gives messages with fewer hops transmission priority
+	// (default 7).
+	HopThreshold int
+
+	probs   [][]float64 // probs[u][v]: u's meeting probability for v
+	updated []float64   // freshness per row; -1 = never
+	scratch *maxPropShared
+
+	cost      []float64 // cached path cost to every node
+	costValid bool
+}
+
+type maxPropShared struct {
+	w    [][]float64
+	dist []float64
+}
+
+// NewMaxProp returns a MaxProp router; use MaxPropFactory so routers share
+// scratch.
+func NewMaxProp() *MaxProp { return &MaxProp{HopThreshold: 7} }
+
+// MaxPropFactory returns a constructor producing MaxProp routers sharing
+// one Dijkstra scratch for n nodes.
+func MaxPropFactory(n int) func() *MaxProp {
+	shared := &maxPropShared{dist: make([]float64, n)}
+	shared.w = make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range shared.w {
+		shared.w[i], flat = flat[:n], flat[n:]
+	}
+	return func() *MaxProp {
+		r := NewMaxProp()
+		r.scratch = shared
+		return r
+	}
+}
+
+// Init implements network.Router.
+func (r *MaxProp) Init(self *network.Node, w *network.World) {
+	r.Base.Init(self, w)
+	n := w.N()
+	r.probs = make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range r.probs {
+		r.probs[i], flat = flat[:n], flat[n:]
+	}
+	r.updated = make([]float64, n)
+	for i := range r.updated {
+		r.updated[i] = -1
+	}
+	r.cost = make([]float64, n)
+	if r.scratch == nil {
+		r.scratch = &maxPropShared{dist: make([]float64, n)}
+		r.scratch.w = make([][]float64, n)
+		f2 := make([]float64, n*n)
+		for i := range r.scratch.w {
+			r.scratch.w[i], f2 = f2[:n], f2[n:]
+		}
+	}
+	// MaxProp's drop order: prefer evicting high-cost (unlikely to be
+	// delivered) copies, approximated with the last computed cost vector;
+	// ties and cold caches fall back to most-hops.
+	self.Buf.SetPolicy(func(_ float64, copies []*msg.Copy) int {
+		best, bestScore := 0, math.Inf(-1)
+		for i, c := range copies {
+			score := float64(c.Hops)
+			if r.costValid && !math.IsInf(r.cost[c.M.To], 1) {
+				score = 1e6 * r.cost[c.M.To]
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		return best
+	})
+}
+
+// Prob returns this node's current meeting probability for peer v.
+func (r *MaxProp) Prob(v int) float64 { return r.probs[r.Self.ID][v] }
+
+// ContactUp implements network.Router: incremental-average own vector,
+// exchange vectors by freshness, merge delivery acks, purge dead copies.
+func (r *MaxProp) ContactUp(t float64, peer *network.Node) {
+	self := r.Self.ID
+	own := r.probs[self]
+	own[peer.ID]++
+	sum := 0.0
+	for _, p := range own {
+		sum += p
+	}
+	for i := range own {
+		own[i] /= sum
+	}
+	r.updated[self] = t
+	r.costValid = false
+	pr, ok := peer.Router.(*MaxProp)
+	if !ok {
+		return
+	}
+	// Vector exchange with per-row freshness, both directions.
+	for i := range r.probs {
+		if pr.updated[i] > r.updated[i] {
+			copy(r.probs[i], pr.probs[i])
+			r.updated[i] = pr.updated[i]
+		} else if r.updated[i] > pr.updated[i] {
+			copy(pr.probs[i], r.probs[i])
+			pr.updated[i] = r.updated[i]
+			pr.costValid = false
+		}
+	}
+	// Ack merge: each side learns the other's delivered set.
+	for id := range peer.KnownDeliveredIDs() {
+		r.Self.LearnDelivered(id)
+	}
+	for id := range r.Self.KnownDeliveredIDs() {
+		peer.LearnDelivered(id)
+	}
+	r.PurgeKnownDelivered()
+	pr.PurgeKnownDelivered()
+}
+
+// refreshCost recomputes the Σ(1−p) Dijkstra costs from this node.
+func (r *MaxProp) refreshCost() {
+	n := len(r.probs)
+	w := r.scratch.w
+	for u := 0; u < n; u++ {
+		known := r.updated[u] >= 0
+		for v := 0; v < n; v++ {
+			if u == v || !known {
+				w[u][v] = math.Inf(1)
+				continue
+			}
+			p := r.probs[u][v]
+			if p <= 0 {
+				w[u][v] = math.Inf(1)
+				continue
+			}
+			c := 1 - p
+			if c < 1e-9 {
+				c = 1e-9
+			}
+			w[u][v] = c
+		}
+	}
+	graph.DenseDijkstra(w, r.Self.ID, r.scratch.dist)
+	copy(r.cost, r.scratch.dist)
+	r.costValid = true
+}
+
+// Cost returns the current path cost estimate to dst.
+func (r *MaxProp) Cost(dst int) float64 {
+	if !r.costValid {
+		r.refreshCost()
+	}
+	return r.cost[dst]
+}
+
+// NextTransfer implements network.Router with MaxProp's transmission
+// order.
+func (r *MaxProp) NextTransfer(t float64, peer *network.Node) *network.Plan {
+	if p := r.DeliverDirect(t, peer); p != nil {
+		return p
+	}
+	cands := r.Candidates(t, peer)
+	if len(cands) == 0 {
+		return nil
+	}
+	if !r.costValid {
+		r.refreshCost()
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		aLow, bLow := a.Hops < r.HopThreshold, b.Hops < r.HopThreshold
+		if aLow != bLow {
+			return aLow
+		}
+		if aLow {
+			if a.Hops != b.Hops {
+				return a.Hops < b.Hops
+			}
+			return a.M.ID < b.M.ID
+		}
+		ca, cb := r.cost[a.M.To], r.cost[b.M.To]
+		if ca != cb {
+			return ca < cb
+		}
+		return a.M.ID < b.M.ID
+	})
+	return network.Replicate(cands[0])
+}

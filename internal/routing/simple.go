@@ -1,0 +1,60 @@
+package routing
+
+import (
+	"repro/internal/network"
+)
+
+// Epidemic floods: every contact receives a copy of every message it does
+// not hold (Vahdat & Becker). The delivery-ratio ceiling and goodput floor
+// of the comparison.
+type Epidemic struct {
+	Base
+}
+
+// NewEpidemic returns an epidemic router.
+func NewEpidemic() *Epidemic { return &Epidemic{} }
+
+// NextTransfer implements network.Router.
+func (r *Epidemic) NextTransfer(t float64, peer *network.Node) *network.Plan {
+	if p := r.DeliverDirect(t, peer); p != nil {
+		return p
+	}
+	for _, c := range r.Candidates(t, peer) {
+		return network.Replicate(c)
+	}
+	return nil
+}
+
+// Direct delivers only on contact with the destination — the single-copy
+// lower bound.
+type Direct struct {
+	Base
+}
+
+// NewDirect returns a direct-delivery router.
+func NewDirect() *Direct { return &Direct{} }
+
+// NextTransfer implements network.Router.
+func (r *Direct) NextTransfer(t float64, peer *network.Node) *network.Plan {
+	return r.DeliverDirect(t, peer)
+}
+
+// FirstContact forwards its single copy to the first encountered node
+// (Jain et al.'s zero-knowledge single-copy scheme).
+type FirstContact struct {
+	Base
+}
+
+// NewFirstContact returns a first-contact router.
+func NewFirstContact() *FirstContact { return &FirstContact{} }
+
+// NextTransfer implements network.Router.
+func (r *FirstContact) NextTransfer(t float64, peer *network.Node) *network.Plan {
+	if p := r.DeliverDirect(t, peer); p != nil {
+		return p
+	}
+	for _, c := range r.Candidates(t, peer) {
+		return network.Forward(c)
+	}
+	return nil
+}

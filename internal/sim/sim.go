@@ -1,0 +1,162 @@
+// Package sim provides the simulation clock, the scheduled-event queue and
+// the deterministic tick runner that drive a DTN scenario.
+//
+// The simulator is time-stepped (like the ONE simulator the paper used):
+// node movement and contact detection advance once per tick, while message
+// generation, transfer completions and other timed actions are discrete
+// events processed in timestamp order at the start of each tick. Events at
+// equal timestamps fire in insertion order, which keeps runs bit-for-bit
+// deterministic.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Event is a callback scheduled to fire at a simulated time.
+type Event struct {
+	At   float64
+	Fire func(t float64)
+
+	seq   int64 // insertion order for stable ties
+	index int   // heap index, -1 once popped/cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a deterministic future-event list.
+type Queue struct {
+	h   eventHeap
+	seq int64
+}
+
+// NewQueue returns an empty event queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues fire to run at time at and returns a handle that can be
+// passed to Cancel.
+func (q *Queue) Schedule(at float64, fire func(t float64)) *Event {
+	q.seq++
+	e := &Event{At: at, Fire: fire, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -2
+}
+
+// NextAt returns the timestamp of the earliest pending event, or +Inf when
+// the queue is empty.
+func (q *Queue) NextAt() float64 {
+	if len(q.h) == 0 {
+		return math.Inf(1)
+	}
+	return q.h[0].At
+}
+
+// RunUntil fires every event with timestamp <= t in order. Events scheduled
+// during processing are honoured if they also fall at or before t.
+func (q *Queue) RunUntil(t float64) {
+	for len(q.h) > 0 && q.h[0].At <= t {
+		e := heap.Pop(&q.h).(*Event)
+		e.Fire(e.At)
+	}
+}
+
+// Clock tracks simulated time.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current simulated time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// advance is used by Runner; external code never moves the clock.
+func (c *Clock) advance(t float64) { c.now = t }
+
+// Ticker is anything that advances once per simulation tick.
+type Ticker interface {
+	// Tick is called with the new simulation time after events at or
+	// before t have fired.
+	Tick(t float64)
+}
+
+// Runner drives a scenario: it alternates event processing and tick
+// callbacks at a fixed interval until the end time.
+type Runner struct {
+	Clock   Clock
+	Events  *Queue
+	Tick    float64 // tick interval in seconds, must be > 0
+	tickers []Ticker
+}
+
+// NewRunner returns a runner with the given tick interval.
+func NewRunner(tick float64) *Runner {
+	if tick <= 0 {
+		panic("sim: tick interval must be positive")
+	}
+	return &Runner{Events: NewQueue(), Tick: tick}
+}
+
+// AddTicker registers t to advance every tick, in registration order.
+func (r *Runner) AddTicker(t Ticker) { r.tickers = append(r.tickers, t) }
+
+// Now returns the current simulated time.
+func (r *Runner) Now() float64 { return r.Clock.Now() }
+
+// Run advances the simulation until time end (inclusive of events at end).
+// It may be called repeatedly to extend a run.
+func (r *Runner) Run(end float64) {
+	for r.Clock.Now() < end {
+		next := r.Clock.Now() + r.Tick
+		if next > end {
+			next = end
+		}
+		r.Events.RunUntil(next)
+		r.Clock.advance(next)
+		for _, tk := range r.tickers {
+			tk.Tick(next)
+		}
+	}
+}

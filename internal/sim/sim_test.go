@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQueueOrder(t *testing.T) {
+	q := NewQueue()
+	var fired []int
+	q.Schedule(3, func(float64) { fired = append(fired, 3) })
+	q.Schedule(1, func(float64) { fired = append(fired, 1) })
+	q.Schedule(2, func(float64) { fired = append(fired, 2) })
+	q.RunUntil(10)
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired order = %v", fired)
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not drained: %d", q.Len())
+	}
+}
+
+func TestQueueTieInsertionOrder(t *testing.T) {
+	q := NewQueue()
+	var fired []string
+	q.Schedule(5, func(float64) { fired = append(fired, "a") })
+	q.Schedule(5, func(float64) { fired = append(fired, "b") })
+	q.Schedule(5, func(float64) { fired = append(fired, "c") })
+	q.RunUntil(5)
+	if got := fired[0] + fired[1] + fired[2]; got != "abc" {
+		t.Fatalf("tie order = %q, want abc", got)
+	}
+}
+
+func TestQueuePartialRun(t *testing.T) {
+	q := NewQueue()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		q.Schedule(at, func(float64) { fired = append(fired, at) })
+	}
+	q.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if q.NextAt() != 3 {
+		t.Errorf("NextAt = %g, want 3", q.NextAt())
+	}
+	q.RunUntil(10)
+	if len(fired) != 4 {
+		t.Errorf("fired %v after full run", fired)
+	}
+}
+
+func TestQueueNestedScheduling(t *testing.T) {
+	q := NewQueue()
+	var fired []float64
+	q.Schedule(1, func(tt float64) {
+		fired = append(fired, tt)
+		q.Schedule(1.5, func(tt2 float64) { fired = append(fired, tt2) })
+		q.Schedule(5, func(tt2 float64) { fired = append(fired, tt2) })
+	})
+	q.RunUntil(2)
+	if len(fired) != 2 || fired[1] != 1.5 {
+		t.Fatalf("nested events = %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := NewQueue()
+	fired := false
+	e := q.Schedule(1, func(float64) { fired = true })
+	q.Cancel(e)
+	if !e.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	q.RunUntil(10)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double cancel and nil cancel are no-ops.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	q := NewQueue()
+	var fired []int
+	var events []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		events = append(events, q.Schedule(float64(i), func(float64) { fired = append(fired, i) }))
+	}
+	q.Cancel(events[4])
+	q.Cancel(events[7])
+	q.RunUntil(100)
+	if len(fired) != 8 {
+		t.Fatalf("fired %v", fired)
+	}
+	for _, v := range fired {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestNextAtEmpty(t *testing.T) {
+	q := NewQueue()
+	if !math.IsInf(q.NextAt(), 1) {
+		t.Error("NextAt on empty queue should be +Inf")
+	}
+}
+
+type countTicker struct {
+	times []float64
+}
+
+func (c *countTicker) Tick(t float64) { c.times = append(c.times, t) }
+
+func TestRunnerTicks(t *testing.T) {
+	r := NewRunner(0.5)
+	ct := &countTicker{}
+	r.AddTicker(ct)
+	r.Run(2)
+	want := []float64{0.5, 1, 1.5, 2}
+	if len(ct.times) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ct.times, want)
+	}
+	for i := range want {
+		if math.Abs(ct.times[i]-want[i]) > 1e-9 {
+			t.Fatalf("ticks = %v, want %v", ct.times, want)
+		}
+	}
+	if r.Now() != 2 {
+		t.Errorf("Now = %g, want 2", r.Now())
+	}
+}
+
+func TestRunnerEventsBeforeTick(t *testing.T) {
+	r := NewRunner(1)
+	var order []string
+	r.Events.Schedule(0.5, func(float64) { order = append(order, "event") })
+	r.AddTicker(&funcTicker{f: func(t float64) {
+		if t == 1 {
+			order = append(order, "tick")
+		}
+	}})
+	r.Run(1)
+	if len(order) != 2 || order[0] != "event" || order[1] != "tick" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+type funcTicker struct{ f func(float64) }
+
+func (ft *funcTicker) Tick(t float64) { ft.f(t) }
+
+func TestRunnerResume(t *testing.T) {
+	r := NewRunner(1)
+	ct := &countTicker{}
+	r.AddTicker(ct)
+	r.Run(3)
+	r.Run(5)
+	if len(ct.times) != 5 {
+		t.Fatalf("resumed ticks = %v", ct.times)
+	}
+}
+
+func TestRunnerPartialLastTick(t *testing.T) {
+	r := NewRunner(1)
+	ct := &countTicker{}
+	r.AddTicker(ct)
+	r.Run(2.5)
+	if r.Now() != 2.5 {
+		t.Errorf("Now = %g, want 2.5", r.Now())
+	}
+	if ct.times[len(ct.times)-1] != 2.5 {
+		t.Errorf("last tick = %g, want 2.5", ct.times[len(ct.times)-1])
+	}
+}
+
+func TestRunnerInvalidTickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRunner(0)
+}

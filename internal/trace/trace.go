@@ -1,0 +1,194 @@
+// Package trace records contact traces from a live world and replays them
+// as scripted mobility, so different protocols can be compared on the
+// exact same contact sequence — the paired-comparison methodology tests
+// and the tracereplay example use. Traces serialise to a simple text
+// format (one "start end a b" line per contact) via encoding-free
+// fmt/bufio I/O.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+)
+
+// Contact is one pairwise contact episode [Start, End) between nodes A and
+// B (A < B).
+type Contact struct {
+	Start, End float64
+	A, B       int
+}
+
+// Trace is a set of contacts over n nodes.
+type Trace struct {
+	N        int
+	Contacts []Contact
+}
+
+// Sort orders contacts by start time, then pair, giving the canonical
+// serialisation order.
+func (tr *Trace) Sort() {
+	sort.SliceStable(tr.Contacts, func(i, j int) bool {
+		a, b := tr.Contacts[i], tr.Contacts[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+}
+
+// Duration returns the latest contact end time.
+func (tr *Trace) Duration() float64 {
+	max := 0.0
+	for _, c := range tr.Contacts {
+		if c.End > max {
+			max = c.End
+		}
+	}
+	return max
+}
+
+// Write serialises the trace: a header line "nodes N" followed by one
+// "start end a b" line per contact.
+func (tr *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "nodes %d\n", tr.N); err != nil {
+		return err
+	}
+	for _, c := range tr.Contacts {
+		if _, err := fmt.Fprintf(bw, "%g %g %d %d\n", c.Start, c.End, c.A, c.B); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a serialised trace.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	tr := &Trace{}
+	if _, err := fmt.Fscanf(br, "nodes %d\n", &tr.N); err != nil {
+		return nil, fmt.Errorf("trace: bad header: %w", err)
+	}
+	for {
+		var c Contact
+		_, err := fmt.Fscanf(br, "%g %g %d %d\n", &c.Start, &c.End, &c.A, &c.B)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad contact line: %w", err)
+		}
+		if c.A < 0 || c.B < 0 || c.A >= tr.N || c.B >= tr.N || c.End < c.Start {
+			return nil, fmt.Errorf("trace: invalid contact %+v", c)
+		}
+		tr.Contacts = append(tr.Contacts, c)
+	}
+	tr.Sort()
+	return tr, nil
+}
+
+// Recorder accumulates contacts from observed up/down events.
+type Recorder struct {
+	n    int
+	open map[[2]int]float64
+	tr   *Trace
+}
+
+// NewRecorder returns a recorder for n nodes.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{n: n, open: make(map[[2]int]float64), tr: &Trace{N: n}}
+}
+
+// Up records a contact start between a and b at time t.
+func (r *Recorder) Up(t float64, a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	r.open[[2]int{a, b}] = t
+}
+
+// Down records a contact end; unmatched downs are ignored.
+func (r *Recorder) Down(t float64, a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	start, ok := r.open[key]
+	if !ok {
+		return
+	}
+	delete(r.open, key)
+	r.tr.Contacts = append(r.tr.Contacts, Contact{Start: start, End: t, A: a, B: b})
+}
+
+// Finish closes all still-open contacts at time t and returns the sorted
+// trace.
+func (r *Recorder) Finish(t float64) *Trace {
+	for key, start := range r.open {
+		r.tr.Contacts = append(r.tr.Contacts, Contact{Start: start, End: t, A: key[0], B: key[1]})
+	}
+	r.open = make(map[[2]int]float64)
+	r.tr.Sort()
+	return r.tr
+}
+
+// ReplayMovers builds one mover per node that reproduces the trace's
+// contact sequence geometrically: every node idles at a far-apart parking
+// position and, during each of its contacts, teleports to a rendezvous
+// point unique to that contact pair episode. Contacts involving the same
+// node at overlapping times all map to rendezvous points within range of
+// the node's parking row — overlapping contacts of one node are supported
+// as long as the involved peers differ.
+func (tr *Trace) ReplayMovers(rangeM float64) []mobility.Mover {
+	movers := make([]mobility.Mover, tr.N)
+	// Parking positions: a row with 100×range spacing.
+	park := func(i int) geo.Point { return geo.Point{X: float64(i) * 100 * rangeM, Y: 0} }
+	// Rendezvous for contact k: far below the parking row, spaced apart.
+	rendezvous := func(k int) geo.Point {
+		return geo.Point{X: float64(k) * 100 * rangeM, Y: -1000 * rangeM}
+	}
+	// Per node, collect its contact episodes.
+	type episode struct {
+		start, end float64
+		at         geo.Point
+	}
+	eps := make([][]episode, tr.N)
+	for k, c := range tr.Contacts {
+		p := rendezvous(k)
+		eps[c.A] = append(eps[c.A], episode{c.Start, c.End, p})
+		eps[c.B] = append(eps[c.B], episode{c.Start, c.End, geo.Point{X: p.X + rangeM/2, Y: p.Y}})
+	}
+	for i := 0; i < tr.N; i++ {
+		i := i
+		myEps := eps[i]
+		home := park(i)
+		movers[i] = &replayMover{at: func(t float64) geo.Point {
+			for _, e := range myEps {
+				if t >= e.start && t < e.end {
+					return e.at
+				}
+			}
+			return home
+		}}
+	}
+	return movers
+}
+
+type replayMover struct {
+	t  float64
+	at func(t float64) geo.Point
+}
+
+func (m *replayMover) Pos() geo.Point { return m.at(m.t) }
+func (m *replayMover) Step(dt float64) geo.Point {
+	m.t += dt
+	return m.at(m.t)
+}

@@ -1,0 +1,81 @@
+// Package traffic generates application messages. The paper does not state
+// its generator; following ONE's defaults for this scenario class, the
+// Uniform generator creates one message per uniformly drawn interval
+// between random distinct node pairs (documented in EXPERIMENTS.md).
+package traffic
+
+import (
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/xrand"
+)
+
+// Generator installs message-creation events into a world.
+type Generator interface {
+	Install(w *network.World)
+}
+
+// Uniform creates one Size-byte message with lifetime TTL per interval
+// drawn uniformly from [MinInterval, MaxInterval], between a uniformly
+// random ordered pair of distinct nodes, from time Start until Stop.
+type Uniform struct {
+	MinInterval, MaxInterval float64
+	Size                     int
+	TTL                      float64
+	Start, Stop              float64
+	Rng                      *xrand.Source
+}
+
+// Install implements Generator.
+func (u *Uniform) Install(w *network.World) {
+	if u.Rng == nil {
+		panic("traffic: Uniform needs a random source")
+	}
+	if u.MinInterval <= 0 || u.MaxInterval < u.MinInterval {
+		panic("traffic: invalid interval range")
+	}
+	var schedule func(at float64)
+	schedule = func(at float64) {
+		if at > u.Stop {
+			return
+		}
+		w.Runner().Events.Schedule(at, func(t float64) {
+			n := w.N()
+			from := u.Rng.Intn(n)
+			to := u.Rng.Intn(n - 1)
+			if to >= from {
+				to++
+			}
+			w.CreateMessage(t, from, to, u.Size, u.TTL)
+			schedule(t + u.Rng.Uniform(u.MinInterval, u.MaxInterval))
+		})
+	}
+	schedule(u.Start + u.Rng.Uniform(u.MinInterval, u.MaxInterval))
+}
+
+// Item is one scripted message for the Script generator.
+type Item struct {
+	At       float64
+	From, To int
+	Size     int
+	TTL      float64
+}
+
+// Script creates an explicit list of messages; tests and the motivating
+// Figure-1 example use it.
+type Script struct {
+	Items []Item
+}
+
+// Install implements Generator.
+func (s *Script) Install(w *network.World) {
+	items := append([]Item(nil), s.Items...)
+	sort.SliceStable(items, func(i, j int) bool { return items[i].At < items[j].At })
+	for _, it := range items {
+		it := it
+		w.Runner().Events.Schedule(it.At, func(t float64) {
+			w.CreateMessage(t, it.From, it.To, it.Size, it.TTL)
+		})
+	}
+}
