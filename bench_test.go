@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/network"
+	"repro/internal/routing"
 	"repro/internal/xrand"
 )
 
@@ -91,6 +93,27 @@ func BenchmarkAblationA3_ForwardHysteresis(b *testing.B) {
 	s := benchScenario(experiment.EER, 10)
 	s.ForwardHysteresis = 60
 	runFigureBench(b, s)
+}
+
+// --- micro-benchmarks of the simulation engine ---
+
+// BenchmarkEngineTicks measures the raw tick rate of the contact engine
+// under the paper's vehicular mobility with no traffic: movement,
+// incremental grid maintenance, re-check scheduling and contact churn.
+// One iteration is one simulated tick. internal/network/bench_test.go
+// holds finer-grained engine benchmarks (static fleets, contact rates)
+// and the zero-allocation assertions.
+func BenchmarkEngineTicks(b *testing.B) {
+	s := experiment.Quick()
+	s.Nodes = 120
+	w, runner := experiment.BuildBare(s, func(int) network.Router { return routing.NewDirect() })
+	runner.Run(64 * s.Tick) // warm up grid, wheel and scratch buffers
+	start := runner.Now()
+	b.ResetTimer()
+	runner.Run(start + float64(b.N)*s.Tick)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
+	b.ReportMetric(float64(w.Metrics.Summary().Contacts)/b.Elapsed().Seconds(), "contacts/s")
 }
 
 // --- micro-benchmarks of the paper's estimators ---

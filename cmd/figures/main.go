@@ -130,29 +130,34 @@ func emit(title string, series []experiment.Series, csvPrefix, suffix string) {
 	}
 }
 
-// figure2 reproduces the six-protocol comparison.
+// figure2 reproduces the six-protocol comparison. All protocols, node
+// counts and seeds run as one flattened batch over the worker pool.
 func figure2(base experiment.Scenario, counts []int, seeds int, csvPrefix string) {
-	var series []experiment.Series
+	bases := make([]experiment.Scenario, 0, len(experiment.AllPaperProtocols))
 	for _, p := range experiment.AllPaperProtocols {
 		s := base
 		s.Protocol = p
-		fmt.Fprintf(os.Stderr, "figure 2: %s...\n", p)
-		series = append(series, experiment.NodeSweep(s, counts, seeds))
+		bases = append(bases, s)
 	}
+	fmt.Fprintf(os.Stderr, "figure 2: %d simulations on all cores...\n", len(bases)*len(counts)*seeds)
+	series := experiment.NodeSweepMulti(bases, counts, seeds)
 	emit("Figure 2 — protocol comparison (λ=10)", series, csvPrefix, "2")
 }
 
 // figureLambda reproduces the λ sensitivity figures (3 for EER, 4 for CR).
 func figureLambda(base experiment.Scenario, p experiment.Protocol, title string, counts []int, seeds int, csvPrefix string) {
-	var series []experiment.Series
-	for _, lambda := range []int{6, 8, 10, 12} {
+	lambdas := []int{6, 8, 10, 12}
+	bases := make([]experiment.Scenario, 0, len(lambdas))
+	for _, lambda := range lambdas {
 		s := base
 		s.Protocol = p
 		s.Lambda = lambda
-		fmt.Fprintf(os.Stderr, "%s: λ=%d...\n", title, lambda)
-		se := experiment.NodeSweep(s, counts, seeds)
-		se.Name = fmt.Sprintf("λ=%d", lambda)
-		series = append(series, se)
+		bases = append(bases, s)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d simulations on all cores...\n", title, len(bases)*len(counts)*seeds)
+	series := experiment.NodeSweepMulti(bases, counts, seeds)
+	for i, lambda := range lambdas {
+		series[i].Name = fmt.Sprintf("λ=%d", lambda)
 	}
 	suffix := "3"
 	if p == experiment.CR {
@@ -163,13 +168,14 @@ func figureLambda(base experiment.Scenario, p experiment.Protocol, title string,
 
 // ablation compares EER against one of its ablated variants.
 func ablation(base experiment.Scenario, title string, ps []experiment.Protocol, counts []int, seeds int, csvPrefix string) {
-	var series []experiment.Series
+	bases := make([]experiment.Scenario, 0, len(ps))
 	for _, p := range ps {
 		s := base
 		s.Protocol = p
-		fmt.Fprintf(os.Stderr, "%s: %s...\n", title, p)
-		series = append(series, experiment.NodeSweep(s, counts, seeds))
+		bases = append(bases, s)
 	}
+	fmt.Fprintf(os.Stderr, "%s: %d simulations on all cores...\n", title, len(bases)*len(counts)*seeds)
+	series := experiment.NodeSweepMulti(bases, counts, seeds)
 	emit(title, series, csvPrefix, "_"+string(ps[len(ps)-1]))
 }
 

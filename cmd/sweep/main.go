@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiment"
@@ -20,8 +21,12 @@ func main() {
 		nodes    = flag.Int("nodes", 120, "node count")
 		seeds    = flag.Int("seeds", 3, "seeds per point")
 		duration = flag.Float64("duration", 6000, "simulated seconds")
+		workers  = flag.Int("workers", 0, "cap simulation workers (0 = all cores)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	base := experiment.Default()
 	base.Protocol = experiment.Protocol(*protocol)
@@ -60,6 +65,8 @@ func main() {
 	}
 
 	start := time.Now()
+	fmt.Fprintf(os.Stderr, "sweep %s: %d simulations on %d workers...\n",
+		label, len(values)**seeds, runtime.GOMAXPROCS(0))
 	series := []experiment.Series{experiment.Sweep1D(*protocol, base, values, set, *seeds)}
 	title := fmt.Sprintf("Sweep %s (%s, n=%d)", label, *protocol, *nodes)
 	for _, m := range experiment.PaperMetrics {

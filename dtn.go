@@ -88,9 +88,13 @@ func DefaultScenario() Scenario { return experiment.Default() }
 // QuickScenario returns a scaled-down configuration for fast exploration.
 func QuickScenario() Scenario { return experiment.Quick() }
 
-// RunSeeds executes a scenario once per seed, in parallel, returning the
-// per-seed summaries.
+// RunSeeds executes a scenario once per seed through the bounded worker
+// pool, returning the per-seed summaries.
 func RunSeeds(s Scenario, seeds []int64) []Summary { return experiment.RunSeeds(s, seeds) }
+
+// RunBatch executes arbitrary scenarios through the bounded worker pool,
+// returning summaries in input order.
+func RunBatch(ss []Scenario) []Summary { return experiment.RunBatch(ss) }
 
 // RunAveraged executes a scenario over n seeds and returns the mean
 // summary.
@@ -103,6 +107,12 @@ func Seeds(n int) []int64 { return experiment.Seeds(n) }
 // point.
 func NodeSweep(base Scenario, counts []int, nSeeds int) Series {
 	return experiment.NodeSweep(base, counts, nSeeds)
+}
+
+// NodeSweepMulti runs several scenarios across node counts as one
+// flattened batch saturating all cores.
+func NodeSweepMulti(bases []Scenario, counts []int, nSeeds int) []Series {
+	return experiment.NodeSweepMulti(bases, counts, nSeeds)
 }
 
 // MeanSummary averages summaries component-wise.

@@ -1,0 +1,63 @@
+// Package bitset provides a growable bitset keyed by small non-negative
+// integers. The engine uses it for per-node delivered-message state, where
+// message ids are dense and the map[int]bool it replaces dominated both
+// memory and lookup time at scale.
+package bitset
+
+import "math/bits"
+
+// Set is a growable bitset. The zero value is an empty set ready for use.
+type Set struct {
+	words []uint64
+}
+
+// Has reports whether i is in the set. Negative or out-of-range indices
+// are simply absent.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i>>6 >= len(s.words) {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Add inserts i, growing the set as needed. It panics on negative i.
+func (s *Set) Add(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	w := i >> 6
+	if w >= len(s.words) {
+		s.grow(w + 1)
+	}
+	s.words[w] |= 1 << (uint(i) & 63)
+}
+
+// grow extends the word slice to n words, doubling capacity to amortise.
+func (s *Set) grow(n int) {
+	if cap(s.words) >= n {
+		s.words = s.words[:n]
+		return
+	}
+	nw := make([]uint64, n, max(2*cap(s.words), n))
+	copy(nw, s.words)
+	s.words = nw
+}
+
+// UnionWith adds every element of o to s.
+func (s *Set) UnionWith(o *Set) {
+	if len(o.words) > len(s.words) {
+		s.grow(len(o.words))
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

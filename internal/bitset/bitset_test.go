@@ -1,0 +1,89 @@
+package bitset
+
+import "testing"
+
+func TestZeroValue(t *testing.T) {
+	var s Set
+	if s.Has(0) || s.Has(100) || s.Has(-1) {
+		t.Fatal("empty set reports members")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestAddHas(t *testing.T) {
+	var s Set
+	ids := []int{0, 1, 63, 64, 65, 127, 128, 1000, 4096}
+	for _, i := range ids {
+		s.Add(i)
+	}
+	for _, i := range ids {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false after Add", i)
+		}
+	}
+	for _, i := range []int{2, 62, 66, 999, 1001, 5000} {
+		if s.Has(i) {
+			t.Errorf("Has(%d) = true, never added", i)
+		}
+	}
+	if s.Count() != len(ids) {
+		t.Errorf("Count = %d, want %d", s.Count(), len(ids))
+	}
+	s.Add(64) // idempotent
+	if s.Count() != len(ids) {
+		t.Error("re-Add changed Count")
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s Set
+	s.Add(-1)
+}
+
+func TestUnionWith(t *testing.T) {
+	var a, b Set
+	a.Add(1)
+	a.Add(70)
+	b.Add(2)
+	b.Add(500) // b is longer than a
+	a.UnionWith(&b)
+	for _, i := range []int{1, 2, 70, 500} {
+		if !a.Has(i) {
+			t.Errorf("union missing %d", i)
+		}
+	}
+	if !b.Has(500) || b.Has(1) {
+		t.Error("UnionWith mutated operand")
+	}
+	// Union the shorter set into the longer one too.
+	b.UnionWith(&a)
+	if !b.Has(1) || !b.Has(70) {
+		t.Error("reverse union missing elements")
+	}
+	// Self-union is a no-op.
+	n := a.Count()
+	a.UnionWith(&a)
+	if a.Count() != n {
+		t.Error("self-union changed the set")
+	}
+}
+
+func TestGrowPreservesBits(t *testing.T) {
+	var s Set
+	for i := 0; i < 10000; i += 7 {
+		s.Add(i)
+	}
+	for i := 0; i < 10000; i++ {
+		want := i%7 == 0
+		if s.Has(i) != want {
+			t.Fatalf("Has(%d) = %v, want %v", i, s.Has(i), want)
+		}
+	}
+}

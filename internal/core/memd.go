@@ -17,9 +17,11 @@ import (
 // The MD matrix is scratch space reused across computations; only the MI
 // matrix persists per node.
 type MEMD struct {
-	size int
-	md   [][]float64
-	dist []float64
+	size    int
+	md      [][]float64 // row headers handed to Dijkstra
+	selfRow []float64   // scratch for the holder's Theorem-2 row
+	dist    []float64
+	scratch []int32 // Dijkstra unvisited-list scratch
 
 	// State of the last Compute, consulted by Delay.
 	index map[int]int
@@ -30,11 +32,9 @@ type MEMD struct {
 func NewMEMD(size int) *MEMD {
 	m := &MEMD{size: size}
 	m.md = make([][]float64, size)
-	flat := make([]float64, size*size)
-	for i := range m.md {
-		m.md[i], flat = flat[:size], flat[size:]
-	}
+	m.selfRow = make([]float64, size)
 	m.dist = make([]float64, size)
+	m.scratch = make([]int32, size+1)
 	return m
 }
 
@@ -50,28 +50,29 @@ func (m *MEMD) Compute(self int, t float64, h *History, mi *MeetingMatrix) {
 		panic(fmt.Sprintf("core: node %d not covered by MI", self))
 	}
 	ids := mi.IDs()
-	for i := range m.md {
-		if i == selfIdx {
-			// Own row: elapsed-time-conditioned EMDs (Theorem 2).
-			row := m.md[i]
-			for j, id := range ids {
-				if j == selfIdx {
-					row[j] = 0
-					continue
-				}
-				if d, got := h.EMD(id, t); got {
-					row[j] = d
-				} else {
-					row[j] = Unknown
-				}
-			}
+	// Own row: elapsed-time-conditioned EMDs (Theorem 2).
+	row := m.selfRow
+	for j, id := range ids {
+		if j == selfIdx {
+			row[j] = 0
 			continue
 		}
-		// Other rows: the MI averages stand in for EMDs the node cannot
-		// observe (the I_jk substitution of Section III-B.2).
-		copy(m.md[i], mi.rows[i])
+		if d, got := h.EMD(id, t); got {
+			row[j] = d
+		} else {
+			row[j] = Unknown
+		}
 	}
-	graph.DenseDijkstra(m.md, selfIdx, m.dist)
+	// Other rows: the MI averages stand in for EMDs the node cannot
+	// observe (the I_jk substitution of Section III-B.2). Dijkstra only
+	// reads the matrix, so the MI rows are shared by header instead of
+	// copied — the former n-squared copy per contact dominated MaxProp-
+	// and EER-style computations at scale.
+	for i := range m.md {
+		m.md[i] = mi.rows[i]
+	}
+	m.md[selfIdx] = row
+	graph.DenseDijkstraScratch(m.md, selfIdx, m.dist, m.scratch)
 	m.index = mi.idx
 	m.valid = true
 }

@@ -19,16 +19,35 @@ type EEVSnapshot struct {
 	offsets [][]float64 // per peer, ascending; nil when m = 0
 	overdue []bool      // r > 0 but m = 0
 	met     []bool
+
+	// backing keeps each peer's offset array alive across Reset so a
+	// recycled snapshot (routers build one per contact) reaches a steady
+	// state with no heap allocations.
+	backing [][]float64
 }
 
 // SnapshotEEV builds a snapshot of h at time t.
 func (h *History) SnapshotEEV(t float64) *EEVSnapshot {
-	s := &EEVSnapshot{
-		h:       h,
-		t:       t,
-		offsets: make([][]float64, h.n),
-		overdue: make([]bool, h.n),
-		met:     make([]bool, h.n),
+	return h.SnapshotEEVInto(t, &EEVSnapshot{})
+}
+
+// SnapshotEEVInto builds the snapshot into s, reusing its storage. The
+// result is identical to SnapshotEEV; callers recycling snapshots (e.g. a
+// router pooling one per contact) avoid all steady-state allocation.
+func (h *History) SnapshotEEVInto(t float64, s *EEVSnapshot) *EEVSnapshot {
+	s.h = h
+	s.t = t
+	if len(s.offsets) != h.n {
+		s.offsets = make([][]float64, h.n)
+		s.backing = make([][]float64, h.n)
+		s.overdue = make([]bool, h.n)
+		s.met = make([]bool, h.n)
+	} else {
+		for j := range s.offsets {
+			s.offsets[j] = nil
+			s.overdue[j] = false
+			s.met[j] = false
+		}
 	}
 	for j := 0; j < h.n; j++ {
 		if j == h.self || !h.met[j] {
@@ -43,12 +62,13 @@ func (h *History) SnapshotEEV(t float64) *EEVSnapshot {
 		if ring.len() == 0 {
 			continue // met once, no interval: probability 0, like History
 		}
-		var offs []float64
+		offs := s.backing[j][:0]
 		ring.forEach(func(dt float64) {
 			if dt > elapsed {
 				offs = append(offs, dt-elapsed)
 			}
 		})
+		s.backing[j] = offs
 		if len(offs) == 0 {
 			s.overdue[j] = true
 			continue

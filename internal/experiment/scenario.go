@@ -6,7 +6,6 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/community"
@@ -133,7 +132,7 @@ func (s Scenario) Build() (*network.World, *sim.Runner) {
 		panic("experiment: need at least two nodes")
 	}
 	runner := sim.NewRunner(s.Tick)
-	w := network.New(network.Config{Range: s.Range, Bandwidth: s.Bandwidth}, runner)
+	w := network.New(s.networkConfig(), runner)
 
 	rm := mapgen.Generate(s.Map, s.MapSeed)
 	reg := community.FromAssigner(s.Nodes, rm.DistrictOfNode)
@@ -211,7 +210,7 @@ func (s Scenario) routerFactory(reg *community.Registry) func() network.Router {
 // tracegen use to observe contacts without protocol machinery.
 func BuildBare(s Scenario, router func(i int) network.Router) (*network.World, *sim.Runner) {
 	runner := sim.NewRunner(s.Tick)
-	w := network.New(network.Config{Range: s.Range, Bandwidth: s.Bandwidth}, runner)
+	w := network.New(s.networkConfig(), runner)
 	rm := mapgen.Generate(s.Map, s.MapSeed)
 	root := xrand.New(s.Seed)
 	for i := 0; i < s.Nodes; i++ {
@@ -221,6 +220,14 @@ func BuildBare(s Scenario, router func(i int) network.Router) (*network.World, *
 	}
 	w.Start()
 	return w, runner
+}
+
+// networkConfig assembles the physical-layer configuration. The mobility
+// speed cap doubles as the contact detector's conservative re-check bound:
+// both bus and random-waypoint movers draw per-leg speeds from
+// [MinSpeed, MaxSpeed], so no node ever outruns it.
+func (s Scenario) networkConfig() network.Config {
+	return network.Config{Range: s.Range, Bandwidth: s.Bandwidth, MaxSpeed: s.MaxSpeed}
 }
 
 // buildMover constructs node i's mover per the scenario's mobility model.
@@ -253,23 +260,16 @@ func (s Scenario) Run() metrics.Summary {
 	return w.Metrics.Summary()
 }
 
-// RunSeeds executes the scenario once per seed (in parallel — worlds are
-// independent) and returns the per-seed summaries in seed order.
+// RunSeeds executes the scenario once per seed (in parallel through the
+// bounded worker pool — worlds are independent) and returns the per-seed
+// summaries in seed order.
 func RunSeeds(s Scenario, seeds []int64) []metrics.Summary {
-	out := make([]metrics.Summary, len(seeds))
-	var wg sync.WaitGroup
+	ss := make([]Scenario, len(seeds))
 	for i, seed := range seeds {
-		i, seed := i, seed
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := s
-			sc.Seed = seed
-			out[i] = sc.Run()
-		}()
+		ss[i] = s
+		ss[i].Seed = seed
 	}
-	wg.Wait()
-	return out
+	return RunBatch(ss)
 }
 
 // Seeds returns the canonical seed list 1..n.

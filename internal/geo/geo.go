@@ -119,7 +119,8 @@ func (pl *Polyline) At(s float64) Point {
 	if s >= pl.total {
 		return pl.pts[len(pl.pts)-1]
 	}
-	// Binary search for the segment containing s.
+	// Binary search for the segment containing s: the largest lo with
+	// cum[lo] <= s.
 	lo, hi := 0, len(pl.cum)-1
 	for lo+1 < hi {
 		mid := (lo + hi) / 2
@@ -129,6 +130,42 @@ func (pl *Polyline) At(s float64) Point {
 			hi = mid
 		}
 	}
+	return pl.at(s, lo)
+}
+
+// AtHint is At with a caller-kept segment hint: a walker that advances
+// monotonically along the line (a bus driving a leg) resolves the
+// containing segment in amortised O(1) instead of a binary search per
+// tick. It returns the point and the hint to pass to the next call.
+// Results are bit-identical to At for every s and any hint.
+func (pl *Polyline) AtHint(s float64, hint int) (Point, int) {
+	if s <= 0 || len(pl.pts) == 1 {
+		return pl.pts[0], 0
+	}
+	if s >= pl.total {
+		return pl.pts[len(pl.pts)-1], len(pl.cum) - 2
+	}
+	// Walk the hint to the largest lo with cum[lo] <= s — the same
+	// segment the binary search in At selects.
+	lo := hint
+	if lo > len(pl.cum)-2 {
+		lo = len(pl.cum) - 2
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	for lo > 0 && pl.cum[lo] > s {
+		lo--
+	}
+	for lo+1 < len(pl.cum)-1 && pl.cum[lo+1] <= s {
+		lo++
+	}
+	return pl.at(s, lo), lo
+}
+
+// at interpolates within segment [lo, lo+1] at arc length s.
+func (pl *Polyline) at(s float64, lo int) Point {
+	hi := lo + 1
 	segLen := pl.cum[hi] - pl.cum[lo]
 	if segLen <= 0 {
 		return pl.pts[lo]

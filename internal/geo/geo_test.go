@@ -136,3 +136,28 @@ func TestPropPolylineAtOnCurve(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPolylineAtHintMatchesAt proves the hint-based walk resolves the
+// same segment as the binary search for every arc length and any starting
+// hint, including zero-length segments and out-of-range hints.
+func TestPolylineAtHintMatchesAt(t *testing.T) {
+	pls := []*Polyline{
+		NewPolyline([]Point{{0, 0}, {3, 4}, {10, 4}, {10, 0}, {-5, 0}}),
+		NewPolyline([]Point{{0, 0}, {0, 0}, {2, 0}, {2, 0}, {5, 0}}), // zero-length segments
+		NewPolyline([]Point{{1, 1}}),
+	}
+	for pi, pl := range pls {
+		for _, hint := range []int{-3, 0, 1, 2, 50} {
+			h := hint
+			for i := 0; i <= 200; i++ {
+				s := pl.Length() * (float64(i)/200*1.2 - 0.1) // includes < 0 and > Length
+				want := pl.At(s)
+				var got Point
+				got, h = pl.AtHint(s, h)
+				if got != want {
+					t.Fatalf("polyline %d: AtHint(%g, hint) = %v, At = %v", pi, s, got, want)
+				}
+			}
+		}
+	}
+}

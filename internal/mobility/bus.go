@@ -16,6 +16,7 @@ type Bus struct {
 
 	stopIdx int // index of the stop the current leg departs from
 	leg     *geo.Polyline
+	legSeg  int     // segment hint for AtHint: buses advance monotonically
 	s       float64 // arc-length progress along leg
 	speed   float64
 	dwell   float64 // remaining dwell at the last reached stop
@@ -44,7 +45,7 @@ func NewBus(rm *mapgen.RoadMap, line mapgen.BusLine, minSpeed, maxSpeed, minDwel
 	b.beginLeg()
 	// Random phase along the first leg.
 	b.s = rng.Uniform(0, b.leg.Length())
-	b.pos = b.leg.At(b.s)
+	b.pos, b.legSeg = b.leg.AtHint(b.s, 0)
 	return b
 }
 
@@ -55,6 +56,7 @@ func (b *Bus) beginLeg() {
 	from := b.line.Stops[b.stopIdx]
 	to := b.line.Stops[(b.stopIdx+1)%len(b.line.Stops)]
 	b.leg = geo.NewPolyline(b.rm.LegPath(from, to))
+	b.legSeg = 0
 	b.s = 0
 	b.speed = b.rng.Uniform(b.minSpeed, b.maxSpeed)
 }
@@ -77,7 +79,7 @@ func (b *Bus) Step(dt float64) geo.Point {
 		travel := b.speed * dt
 		if travel < remain {
 			b.s += travel
-			b.pos = b.leg.At(b.s)
+			b.pos, b.legSeg = b.leg.AtHint(b.s, b.legSeg)
 			return b.pos
 		}
 		// Arrive at the next stop within this step.

@@ -1,0 +1,66 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Engine micro-benchmarks: ticks/sec and contact throughput of the broad
+// phase alone (probe routers, no traffic), complementing the whole-figure
+// benchmarks at the repository root.
+
+func benchWorld(n int, maxStep float64, maxSpeed float64) (*World, *sim.Runner) {
+	runner := sim.NewRunner(1)
+	w := New(Config{Range: 10, Bandwidth: 1000, MaxSpeed: maxSpeed}, runner)
+	rect := geo.NewRect(geo.Point{X: -500, Y: -500}, geo.Point{X: 500, Y: 500})
+	root := xrand.New(1)
+	for i := 0; i < n; i++ {
+		rng := root.Derive(fmt.Sprintf("b-%d", i))
+		start := geo.Point{
+			X: rng.Uniform(rect.Min.X, rect.Max.X),
+			Y: rng.Uniform(rect.Min.Y, rect.Max.Y),
+		}
+		w.AddNode(&randWalk{pos: start, rect: rect, maxStep: maxStep, rng: rng}, buffer.New(0, nil), &probe{})
+	}
+	w.Start()
+	return w, runner
+}
+
+// benchTicks advances the world b.N ticks and reports tick and contact
+// throughput.
+func benchTicks(b *testing.B, w *World, runner *sim.Runner) {
+	b.Helper()
+	runner.Run(64) // warm up buffers and the re-check wheel
+	before := w.Metrics.Summary().Contacts
+	start := runner.Now()
+	b.ResetTimer()
+	runner.Run(start + float64(b.N))
+	b.StopTimer()
+	contacts := w.Metrics.Summary().Contacts - before
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
+	b.ReportMetric(float64(contacts)/b.Elapsed().Seconds(), "contacts/s")
+}
+
+// BenchmarkEngineTickMobile measures per-tick cost with every node moving
+// (random walk, speed bound active).
+func BenchmarkEngineTickMobile400(b *testing.B) {
+	w, runner := benchWorld(400, 4, 6)
+	benchTicks(b, w, runner)
+}
+
+// BenchmarkEngineTickStatic measures the steady-state floor: no node
+// moves, so ticks are pure wheel maintenance.
+func BenchmarkEngineTickStatic400(b *testing.B) {
+	runner := sim.NewRunner(1)
+	w := New(Config{Range: 10, Bandwidth: 1000}, runner)
+	for i := 0; i < 400; i++ {
+		w.AddNode(fixed(float64(i%20)*7, float64(i/20)*7), buffer.New(0, nil), &probe{})
+	}
+	w.Start()
+	benchTicks(b, w, runner)
+}

@@ -1,0 +1,344 @@
+package network
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// This file is the engine's broad phase: a persistent, incrementally
+// maintained spatial grid plus a conservative pair re-check scheduler.
+//
+// The previous implementation rebuilt a map[uint64][]int32 spatial hash
+// from scratch every tick and distance-tested every 3x3-neighbourhood
+// candidate pair, which dominated whole-run CPU profiles. The incremental
+// design exploits two facts:
+//
+//  1. Nodes cross cell boundaries rarely (a bus at 13.9 m/s crosses a
+//     10 m cell every ~3 ticks at the paper's 0.25 s tick, and not at all
+//     while dwelling), so bucket membership is nearly static. The grid
+//     keeps every node bucketed across ticks and re-buckets only on cell
+//     change.
+//
+//  2. A pair at distance D with per-node speed bound vmax cannot come
+//     into radio range R before (D-R)/(2*vmax) seconds elapse, so a pair
+//     seen far apart provably needs no distance test for many ticks.
+//     Checks are parked on a timing wheel and each check reschedules the
+//     next one as far out as the bound allows.
+//
+// Correctness does not depend on the speed bound: a pair whose cells are
+// not adjacent (Chebyshev distance > 1) is strictly farther apart than one
+// cell (= R), and becoming adjacent requires one of the two nodes to
+// change cell, which triggers a neighbourhood rescan that (re-)tracks the
+// pair the very tick it happens. The speed bound only stretches re-check
+// intervals for pairs already known to the tracker; with MaxSpeed == 0
+// (unknown bound, e.g. scripted or trace-replay movers) tracked pairs are
+// simply re-checked every tick.
+
+// gridSlot is one open-addressed bucket: the nodes currently inside one
+// grid cell, kept in ascending id order so scans are deterministic.
+// Buckets are reused across ticks: emptied buckets keep their backing
+// array and are stamped with the epoch they emptied instead of being
+// deleted (open-addressed tables cannot tombstone cheaply); stale empties
+// are dropped wholesale on the next table growth.
+type gridSlot struct {
+	key        uint64
+	used       bool
+	emptySince uint64 // epoch the bucket last became empty (diagnostics/compaction)
+	nodes      []int32
+
+	// nbr caches the slot indices of the 3x3 cell neighbourhood (-1 for
+	// cells with no bucket), valid while nbrGen matches the grid's
+	// layoutGen. Neighbourhood scans are the engine's hottest loop; the
+	// cache removes all nine hash probes from the steady state.
+	nbrGen uint64
+	nbr    [9]int32
+}
+
+// cellGrid is the persistent spatial hash over node positions with cell
+// size equal to the radio range, so in-range pairs always sit in the same
+// or adjacent cells.
+type cellGrid struct {
+	cell      float64
+	slots     []gridSlot
+	mask      uint32
+	used      int    // occupied (used==true) slot count, including empty buckets
+	layoutGen uint64 // bumped on bucket creation and growth: neighbour caches stale
+
+	cellOf    []uint64 // per node: packed cell key of the current bucket
+	slotOf    []int32  // per node: slot index of the current bucket, -1 if none
+	prevCell  []uint64 // per node: cell key before the last cell change
+	prevValid []bool   // per node: prevCell holds a real cell (not first insertion)
+	moveEpoch []uint64 // per node: epoch of the last cell change
+	epoch     uint64   // advanced once per tick by the world
+}
+
+func (g *cellGrid) init(cell float64) {
+	g.cell = cell
+	const initialSlots = 256
+	g.slots = make([]gridSlot, initialSlots)
+	g.mask = initialSlots - 1
+	// Fresh slots carry nbrGen 0; starting the layout generation above it
+	// keeps their zeroed neighbour caches from ever reading as valid.
+	g.layoutGen = 1
+}
+
+// ensure sizes the per-node bookkeeping for n nodes.
+func (g *cellGrid) ensure(n int) {
+	for len(g.cellOf) < n {
+		g.cellOf = append(g.cellOf, 0)
+		g.slotOf = append(g.slotOf, -1)
+		g.prevCell = append(g.prevCell, 0)
+		g.prevValid = append(g.prevValid, false)
+		g.moveEpoch = append(g.moveEpoch, 0)
+	}
+}
+
+func cellKeyOf(cx, cy int32) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// hash64 is the splitmix64 finaliser; cell keys are sequential in each
+// coordinate, so they need real mixing before masking.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// findSlot returns the slot index for key, probing linearly from its hash.
+// If absent it returns the first free slot (not yet marked used).
+func (g *cellGrid) findSlot(key uint64) int32 {
+	i := uint32(hash64(key)) & g.mask
+	for {
+		s := &g.slots[i]
+		if !s.used || s.key == key {
+			return int32(i)
+		}
+		i = (i + 1) & g.mask
+	}
+}
+
+// grow doubles the table and re-inserts every bucket. Buckets that have
+// sat empty for more than one wheel revolution are reclaimed — their epoch
+// stamp proves no node has been near them recently — while freshly-emptied
+// ones are kept so cells on active routes are not churned. Node slot
+// indices are rebuilt and every neighbour cache is invalidated via the
+// layout generation.
+func (g *cellGrid) grow() {
+	old := g.slots
+	g.slots = make([]gridSlot, len(old)*2)
+	g.mask = uint32(len(g.slots) - 1)
+	g.used = 0
+	g.layoutGen++
+	for i := range old {
+		s := &old[i]
+		if !s.used {
+			continue
+		}
+		if len(s.nodes) == 0 && g.epoch > s.emptySince+wheelSize {
+			continue
+		}
+		j := g.findSlot(s.key)
+		g.slots[j] = gridSlot{key: s.key, used: true, emptySince: s.emptySince, nodes: s.nodes}
+		g.used++
+		for _, id := range s.nodes {
+			g.slotOf[id] = j
+		}
+	}
+}
+
+// patchNeighborCaches splices freshly-created bucket j for cell key into
+// the still-valid neighbour caches around it, so a bucket creation does
+// not invalidate every cache in the table.
+func (g *cellGrid) patchNeighborCaches(j int32, key uint64) {
+	cx := int32(uint32(key >> 32))
+	cy := int32(uint32(key))
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			ni := g.findSlot(cellKeyOf(cx+dx, cy+dy))
+			ns := &g.slots[ni]
+			if !ns.used || ns.nbrGen != g.layoutGen {
+				continue
+			}
+			// The neighbour sees the new cell at the inverse offset.
+			ns.nbr[(1-dx)*3+(1-dy)] = j
+		}
+	}
+}
+
+// update re-buckets node i at position pos and reports whether its cell
+// changed (including first insertion).
+func (g *cellGrid) update(i int32, pos geo.Point) bool {
+	cx := int32(math.Floor(pos.X / g.cell))
+	cy := int32(math.Floor(pos.Y / g.cell))
+	key := cellKeyOf(cx, cy)
+	if g.slotOf[i] >= 0 && g.cellOf[i] == key {
+		return false
+	}
+	if g.slotOf[i] >= 0 {
+		g.prevCell[i] = g.cellOf[i]
+		g.prevValid[i] = true
+		g.removeFromBucket(i)
+	} else {
+		g.prevValid[i] = false
+	}
+	g.moveEpoch[i] = g.epoch
+	j := g.findSlot(key)
+	s := &g.slots[j]
+	if !s.used {
+		s.used = true
+		s.key = key
+		g.used++
+		g.patchNeighborCaches(j, key)
+	}
+	// Insert keeping ascending id order (buckets are small).
+	s.nodes = append(s.nodes, i)
+	for k := len(s.nodes) - 1; k > 0 && s.nodes[k-1] > i; k-- {
+		s.nodes[k], s.nodes[k-1] = s.nodes[k-1], s.nodes[k]
+	}
+	g.cellOf[i] = key
+	g.slotOf[i] = j
+	if g.used*4 > len(g.slots)*3 {
+		g.grow()
+	}
+	return true
+}
+
+// removeFromBucket takes node i out of its current bucket, preserving
+// order.
+func (g *cellGrid) removeFromBucket(i int32) {
+	s := &g.slots[g.slotOf[i]]
+	for k, id := range s.nodes {
+		if id == i {
+			s.nodes = append(s.nodes[:k], s.nodes[k+1:]...)
+			break
+		}
+	}
+	if len(s.nodes) == 0 {
+		s.emptySince = g.epoch
+	}
+	g.slotOf[i] = -1
+}
+
+// neighborSlots returns the cached 3x3 neighbour slot indices (-1 where
+// no bucket exists) of the bucket at slot idx, recomputing the cache when
+// the table layout changed. Index k maps to offset (k/3-1, k%3-1).
+func (g *cellGrid) neighborSlots(idx int32) *[9]int32 {
+	s := &g.slots[idx]
+	if s.nbrGen != g.layoutGen {
+		cx := int32(uint32(s.key >> 32))
+		cy := int32(uint32(s.key))
+		k := 0
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				j := g.findSlot(cellKeyOf(cx+dx, cy+dy))
+				if !g.slots[j].used {
+					j = -1
+				}
+				s.nbr[k] = j
+				k++
+			}
+		}
+		s.nbrGen = g.layoutGen
+	}
+	return &s.nbr
+}
+
+// --- pair re-check scheduler ---
+
+// wheelSize is the horizon of the re-check timing wheel in ticks. Skips
+// are capped at wheelSize-1 so every parked check lands within one wheel
+// revolution, which keeps slot membership unambiguous without storing due
+// ticks.
+const wheelSize = 64
+
+// pairKey packs a canonical (a<b) pair.
+func pairKey(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// pairSched parks candidate pairs on a timing wheel until their next
+// provably-necessary distance check. The tracked set holds exactly the
+// pairs with one parked check; everything else is guaranteed non-adjacent
+// on the grid and is rediscovered by cell-change rescans.
+type pairSched struct {
+	wheel   [wheelSize][]uint64
+	tracked pairSet
+}
+
+func (ps *pairSched) init(n int) { ps.tracked.init(n) }
+
+// track parks a check for pair (a,b) at the given tick unless the pair is
+// already tracked. It reports whether the pair was newly tracked.
+func (ps *pairSched) track(a, b int32, tick uint64) bool {
+	if !ps.tracked.add(a, b) {
+		return false
+	}
+	slot := tick % wheelSize
+	ps.wheel[slot] = append(ps.wheel[slot], pairKey(a, b))
+	return true
+}
+
+// reschedule parks the next check of an already-tracked pair.
+func (ps *pairSched) reschedule(key uint64, tick uint64) {
+	slot := tick % wheelSize
+	ps.wheel[slot] = append(ps.wheel[slot], key)
+}
+
+// untrack removes the pair from the tracked set; its parked check must be
+// the one currently firing (it is simply not rescheduled).
+func (ps *pairSched) untrack(a, b int32) { ps.tracked.remove(a, b) }
+
+// pairSet is a set of canonical node pairs. For realistic fleet sizes it
+// is a flat n*n bitset (~7 KB at the paper's largest 240-node scale); for
+// very large fleets it falls back to a hash set to avoid quadratic memory.
+type pairSet struct {
+	n     int
+	words []uint64            // bitset mode: bit a*n+b
+	m     map[uint64]struct{} // fallback mode
+}
+
+// pairSetBitsetLimit caps bitset mode at n*n = 64M bits (8 MB).
+const pairSetBitsetLimit = 8192
+
+func (s *pairSet) init(n int) {
+	s.n = n
+	if n <= pairSetBitsetLimit {
+		s.words = make([]uint64, (n*n+63)/64)
+		return
+	}
+	s.m = make(map[uint64]struct{})
+}
+
+// add inserts pair (a<b) and reports whether it was absent.
+func (s *pairSet) add(a, b int32) bool {
+	if s.words != nil {
+		bit := uint64(a)*uint64(s.n) + uint64(b)
+		w, m := bit/64, uint64(1)<<(bit%64)
+		if s.words[w]&m != 0 {
+			return false
+		}
+		s.words[w] |= m
+		return true
+	}
+	k := pairKey(a, b)
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = struct{}{}
+	return true
+}
+
+func (s *pairSet) remove(a, b int32) {
+	if s.words != nil {
+		bit := uint64(a)*uint64(s.n) + uint64(b)
+		s.words[bit/64] &^= uint64(1) << (bit % 64)
+		return
+	}
+	delete(s.m, pairKey(a, b))
+}

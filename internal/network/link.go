@@ -16,7 +16,6 @@ type Link struct {
 	cur  *transfer
 	ev   *sim.Event
 	turn int // 0: a sends next, 1: b sends next
-	gen  uint64
 }
 
 type transfer struct {

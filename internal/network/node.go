@@ -1,6 +1,7 @@
 package network
 
 import (
+	"repro/internal/bitset"
 	"repro/internal/buffer"
 	"repro/internal/geo"
 	"repro/internal/mobility"
@@ -18,13 +19,14 @@ type Node struct {
 	links []*Link // active contacts, in establishment order
 
 	// deliveredHere records message ids destined to this node that have
-	// already arrived, so duplicate arrivals are not re-counted.
-	deliveredHere map[int]bool
+	// already arrived, so duplicate arrivals are not re-counted. Message
+	// ids are dense, so a bitset beats the map it replaced.
+	deliveredHere bitset.Set
 	// knownDelivered records message ids this node has learned were
 	// delivered (by delivering them itself or, for protocols with ack
 	// propagation such as MaxProp, by gossip). Routers use it to purge
 	// dead copies.
-	knownDelivered map[int]bool
+	knownDelivered bitset.Set
 }
 
 // Pos returns the node's current position.
@@ -38,19 +40,24 @@ func (n *Node) Copy(id int) *msg.Copy { return n.Buf.Get(id) }
 
 // DeliveredHere reports whether message id (destined to this node) already
 // arrived.
-func (n *Node) DeliveredHere(id int) bool { return n.deliveredHere[id] }
+func (n *Node) DeliveredHere(id int) bool { return n.deliveredHere.Has(id) }
 
 // KnowsDelivered reports whether the node has learned that message id
 // reached its destination.
-func (n *Node) KnowsDelivered(id int) bool { return n.knownDelivered[id] }
+func (n *Node) KnowsDelivered(id int) bool { return n.knownDelivered.Has(id) }
 
 // LearnDelivered records that the node knows message id was delivered.
 // Routers with ack propagation call this during metadata exchange.
-func (n *Node) LearnDelivered(id int) { n.knownDelivered[id] = true }
+func (n *Node) LearnDelivered(id int) { n.knownDelivered.Add(id) }
 
-// KnownDeliveredIDs returns the set of learned-delivered ids (shared; do
-// not mutate).
-func (n *Node) KnownDeliveredIDs() map[int]bool { return n.knownDelivered }
+// SyncKnownDelivered merges delivered-message knowledge with peer in both
+// directions, leaving the two nodes with the identical union set — the
+// ack-gossip exchange of protocols like MaxProp, as one bitset union
+// instead of a per-id map walk.
+func (n *Node) SyncKnownDelivered(peer *Node) {
+	n.knownDelivered.UnionWith(&peer.knownDelivered)
+	peer.knownDelivered.UnionWith(&n.knownDelivered)
+}
 
 // InContactWith reports whether the node currently has a contact with peer.
 func (n *Node) InContactWith(peer int) bool {

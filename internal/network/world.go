@@ -8,7 +8,7 @@ package network
 import (
 	"fmt"
 	"math"
-	"sort"
+	"strings"
 
 	"repro/internal/buffer"
 	"repro/internal/metrics"
@@ -27,6 +27,11 @@ type Config struct {
 	// ExpirySweepEvery purges expired messages every that many ticks
 	// (default 10).
 	ExpirySweepEvery int
+	// MaxSpeed is an upper bound on any node's speed in m/s. When set it
+	// lets the contact detector skip distance checks of far-apart pairs
+	// for provably safe spans (see grid.go). 0 means "no bound known":
+	// detection stays exact but tracked pairs are re-checked every tick.
+	MaxSpeed float64
 }
 
 // DefaultConfig returns the paper's physical parameters.
@@ -43,10 +48,12 @@ type World struct {
 	nodes  []*Node
 
 	linkList []*Link // active links in establishment order
-	linkIdx  map[uint64]*Link
 
 	grid      cellGrid
-	pairBuf   [][2]int32
+	sched     pairSched
+	movedBuf  []int32    // scratch: nodes that changed cell this tick
+	newPairs  [][2]int32 // scratch: pairs that came into range this tick
+	tickDt    float64    // runner tick interval, for re-check scheduling
 	lastTick  float64
 	tickCount uint64
 	nextMsgID int
@@ -68,7 +75,7 @@ func New(cfg Config, runner *sim.Runner) *World {
 		Metrics: metrics.New(),
 		cfg:     cfg,
 		runner:  runner,
-		linkIdx: make(map[uint64]*Link),
+		tickDt:  runner.Tick,
 	}
 	w.grid.init(cfg.Range)
 	runner.AddTicker(w)
@@ -100,13 +107,11 @@ func (w *World) AddNode(m mobility.Mover, buf *buffer.Buffer, r Router) *Node {
 		panic("network: AddNode after Start")
 	}
 	n := &Node{
-		ID:             len(w.nodes),
-		Mover:          m,
-		Buf:            buf,
-		Router:         r,
-		pos:            m.Pos(),
-		deliveredHere:  make(map[int]bool),
-		knownDelivered: make(map[int]bool),
+		ID:     len(w.nodes),
+		Mover:  m,
+		Buf:    buf,
+		Router: r,
+		pos:    m.Pos(),
 	}
 	w.nodes = append(w.nodes, n)
 	return n
@@ -124,6 +129,8 @@ func (w *World) Start() {
 		panic("network: Start called twice")
 	}
 	w.started = true
+	w.grid.ensure(len(w.nodes))
+	w.sched.init(len(w.nodes))
 	for _, n := range w.nodes {
 		n.Router.Init(n, w)
 	}
@@ -176,50 +183,167 @@ func (w *World) Tick(t float64) {
 	}
 }
 
-func linkKey(a, b int) uint64 { return uint64(a)<<32 | uint64(uint32(b)) }
-
-// updateContacts diffs the in-range pair set against active links.
+// updateContacts maintains the in-range pair set incrementally: moved
+// nodes are re-bucketed and their neighbourhoods rescanned, then exactly
+// the pairs whose parked re-check is due are distance-tested. The
+// resulting contact set is identical to a naive all-pairs sweep every
+// tick (grid_test.go proves it), at a fraction of the work.
 func (w *World) updateContacts(t float64) {
-	pairs := w.grid.pairs(w.nodes, w.pairBuf[:0])
-	w.pairBuf = pairs
+	tick := w.tickCount
+	w.grid.epoch = tick
 
-	gen := w.tickCount
-	var newPairs [][2]int32
-	for _, p := range pairs {
-		if l, ok := w.linkIdx[linkKey(int(p[0]), int(p[1]))]; ok {
-			l.gen = gen
-			continue
+	// Phase 1: re-bucket nodes whose cell changed and track every
+	// untracked pair in their new 3x3 neighbourhood for an immediate
+	// check. Node order keeps runs deterministic.
+	moved := w.movedBuf[:0]
+	for i, n := range w.nodes {
+		if w.grid.update(int32(i), n.pos) {
+			moved = append(moved, int32(i))
 		}
-		newPairs = append(newPairs, p)
 	}
-	// Tear down stale links first so buffers/state settle before new
-	// contacts exchange metadata. Iterate the ordered list for
-	// determinism.
+	for _, i := range moved {
+		w.scanNeighborhood(i, tick)
+	}
+	w.movedBuf = moved[:0]
+
+	// Phase 2: run the distance checks due this tick. Link pairs are
+	// never parked on the wheel (the link list below is their check), so
+	// an in-range hit here is always a new contact. Out-of-range pairs
+	// are parked as far out as the speed bound allows, or dropped
+	// entirely once they are provably beyond grid adjacency.
+	slot := tick % wheelSize
+	due := w.sched.wheel[slot]
+	r2 := w.cfg.Range * w.cfg.Range
+	bandMax2 := 9 * w.grid.cell * w.grid.cell
+	newPairs := w.newPairs[:0]
+	for _, k := range due {
+		a := int32(uint32(k >> 32))
+		b := int32(uint32(k))
+		d2 := w.nodes[a].pos.Dist2(w.nodes[b].pos)
+		switch {
+		case d2 <= r2:
+			// New contact: its wheel entry is consumed here and the pair
+			// stays tracked; the link sweep re-parks it on contact loss.
+			newPairs = append(newPairs, [2]int32{a, b})
+		case d2 > bandMax2:
+			// Beyond any adjacent-cell distance: stop tracking; a future
+			// cell change of either node re-tracks the pair before it can
+			// come back into range.
+			w.sched.untrack(a, b)
+		default:
+			w.sched.reschedule(k, tick+w.recheckDelay(d2))
+		}
+	}
+	w.sched.wheel[slot] = due[:0]
+
+	// Phase 3: distance-sweep the active links — cheaper than parking
+	// the (frequently-checked) in-range pairs on the wheel. Tear down
+	// stale links first so buffers/state settle before new contacts
+	// exchange metadata, iterating the ordered list for determinism.
 	keep := w.linkList[:0]
 	for _, l := range w.linkList {
-		if l.gen == gen {
+		d2 := l.a.pos.Dist2(l.b.pos)
+		if d2 <= r2 {
 			keep = append(keep, l)
 			continue
 		}
 		w.contactDown(l, t)
+		w.sched.reschedule(pairKey(int32(l.a.ID), int32(l.b.ID)), tick+w.recheckDelay(d2))
 	}
 	w.linkList = keep
-	// Establish new contacts in ascending pair order.
-	sort.Slice(newPairs, func(i, j int) bool {
-		if newPairs[i][0] != newPairs[j][0] {
-			return newPairs[i][0] < newPairs[j][0]
+	// Establish new contacts in ascending pair order. The handful of
+	// pairs per tick makes insertion sort allocation-free and cheap.
+	for i := 1; i < len(newPairs); i++ {
+		p := newPairs[i]
+		j := i
+		for ; j > 0 && (newPairs[j-1][0] > p[0] || (newPairs[j-1][0] == p[0] && newPairs[j-1][1] > p[1])); j-- {
+			newPairs[j] = newPairs[j-1]
 		}
-		return newPairs[i][1] < newPairs[j][1]
-	})
+		newPairs[j] = p
+	}
 	for _, p := range newPairs {
-		w.contactUp(w.nodes[p[0]], w.nodes[p[1]], t, gen)
+		w.contactUp(w.nodes[p[0]], w.nodes[p[1]], t)
+	}
+	w.newPairs = newPairs[:0]
+}
+
+// scanNeighborhood tracks every untracked pair between freshly-moved node
+// i and the nodes bucketed in its 3x3 cell neighbourhood, parking an
+// immediate check. Cells that were already adjacent before i's move are
+// filtered to nodes that themselves moved this tick: an untracked pair
+// that was cell-adjacent before the tick would contradict the tracking
+// invariant (untracked implies non-adjacent), so only a move on the other
+// side can have created a new untracked adjacency there.
+func (w *World) scanNeighborhood(i int32, tick uint64) {
+	g := &w.grid
+	key := g.cellOf[i]
+	cx := int32(uint32(key >> 32))
+	cy := int32(uint32(key))
+	hadPrev := g.prevValid[i]
+	var pcx, pcy int32
+	if hadPrev {
+		pk := g.prevCell[i]
+		pcx = int32(uint32(pk >> 32))
+		pcy = int32(uint32(pk))
+	}
+	nbr := g.neighborSlots(g.slotOf[i])
+	for k, idx := range nbr {
+		if idx < 0 {
+			continue
+		}
+		ccx := cx + int32(k/3) - 1
+		ccy := cy + int32(k%3) - 1
+		retained := hadPrev && chebWithin1(ccx, pcx) && chebWithin1(ccy, pcy)
+		for _, j := range g.slots[idx].nodes {
+			if j == i {
+				continue
+			}
+			if retained && g.moveEpoch[j] != g.epoch {
+				continue
+			}
+			a, b := i, j
+			if b < a {
+				a, b = b, a
+			}
+			w.sched.track(a, b, tick)
+		}
 	}
 }
 
-func (w *World) contactUp(a, b *Node, t float64, gen uint64) {
+// chebWithin1 reports |a-b| <= 1.
+func chebWithin1(a, b int32) bool {
+	d := a - b
+	return d >= -1 && d <= 1
+}
+
+// recheckDelay returns how many ticks the next distance check of an
+// out-of-range pair at squared distance d2 may safely be deferred. With
+// both nodes bounded by MaxSpeed, their distance shrinks at most
+// 2*MaxSpeed metres per second, so a pair (D-Range) metres past the radio
+// edge cannot close the gap in fewer than (D-Range)/(2*MaxSpeed) seconds.
+// A small absolute margin absorbs floating-point drift in the mover
+// arithmetic.
+func (w *World) recheckDelay(d2 float64) uint64 {
+	if w.cfg.MaxSpeed <= 0 {
+		return 1
+	}
+	slack := math.Sqrt(d2) - w.cfg.Range - 1e-9
+	if slack <= 0 {
+		return 1
+	}
+	ticks := int(slack / (2 * w.cfg.MaxSpeed * w.tickDt))
+	if ticks < 1 {
+		return 1
+	}
+	if ticks > wheelSize-1 {
+		return wheelSize - 1
+	}
+	return uint64(ticks)
+}
+
+func (w *World) contactUp(a, b *Node, t float64) {
 	w.Metrics.ContactStarted()
-	l := &Link{a: a, b: b, since: t, gen: gen}
-	w.linkIdx[linkKey(a.ID, b.ID)] = l
+	l := &Link{a: a, b: b, since: t}
 	w.linkList = append(w.linkList, l)
 	a.addLink(l)
 	b.addLink(l)
@@ -230,7 +354,6 @@ func (w *World) contactUp(a, b *Node, t float64, gen uint64) {
 
 func (w *World) contactDown(l *Link, t float64) {
 	l.abort(w)
-	delete(w.linkIdx, linkKey(l.a.ID, l.b.ID))
 	l.a.removeLink(l)
 	l.b.removeLink(l)
 	l.a.Router.ContactDown(t, l.b)
@@ -258,8 +381,8 @@ func (w *World) completeTransfer(l *Link, t float64) {
 	switch {
 	case m.To == to.ID:
 		// Final delivery. Late (expired) arrivals count as relays only.
-		if !m.Expired(t) && !to.deliveredHere[m.ID] {
-			to.deliveredHere[m.ID] = true
+		if !m.Expired(t) && !to.deliveredHere.Has(m.ID) {
+			to.deliveredHere.Add(m.ID)
 			if w.Metrics.MessageDelivered(m.ID, t, senderCopy.Hops+1) {
 				for _, f := range w.onDeliver {
 					f(t, m, senderCopy.Hops+1)
@@ -310,61 +433,12 @@ func (w *World) sweepExpired(t float64) {
 	}
 }
 
-// cellGrid is a spatial hash over node positions with cell size equal to
-// the radio range, so in-range pairs always sit in adjacent cells.
-type cellGrid struct {
-	cell  float64
-	cells map[uint64][]int32
-}
-
-func (g *cellGrid) init(cell float64) {
-	g.cell = cell
-	g.cells = make(map[uint64][]int32)
-}
-
-func cellKeyOf(cx, cy int32) uint64 {
-	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
-}
-
-// pairs returns all node pairs (a < b) within range, appended to out.
-func (g *cellGrid) pairs(nodes []*Node, out [][2]int32) [][2]int32 {
-	for k := range g.cells {
-		delete(g.cells, k)
-	}
-	type cc struct{ cx, cy int32 }
-	coords := make([]cc, len(nodes))
-	for i, n := range nodes {
-		cx := int32(math.Floor(n.pos.X / g.cell))
-		cy := int32(math.Floor(n.pos.Y / g.cell))
-		coords[i] = cc{cx, cy}
-		key := cellKeyOf(cx, cy)
-		g.cells[key] = append(g.cells[key], int32(i))
-	}
-	r2 := g.cell * g.cell
-	for i, n := range nodes {
-		ci := coords[i]
-		for dx := int32(-1); dx <= 1; dx++ {
-			for dy := int32(-1); dy <= 1; dy++ {
-				bucket := g.cells[cellKeyOf(ci.cx+dx, ci.cy+dy)]
-				for _, j := range bucket {
-					if int(j) <= i {
-						continue
-					}
-					if n.pos.Dist2(nodes[j].pos) <= r2 {
-						out = append(out, [2]int32{int32(i), j})
-					}
-				}
-			}
-		}
-	}
-	return out
-}
-
 // DumpState returns a human-readable snapshot for debugging.
 func (w *World) DumpState() string {
-	s := fmt.Sprintf("t=%.1f nodes=%d links=%d\n", w.Now(), len(w.nodes), len(w.linkList))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%.1f nodes=%d links=%d\n", w.Now(), len(w.nodes), len(w.linkList))
 	for _, n := range w.nodes {
-		s += fmt.Sprintf("  node %d at %v buf=%d/%dB msgs=%d\n", n.ID, n.pos, n.Buf.Used(), n.Buf.Capacity(), n.Buf.Len())
+		fmt.Fprintf(&sb, "  node %d at %v buf=%d/%dB msgs=%d\n", n.ID, n.pos, n.Buf.Used(), n.Buf.Capacity(), n.Buf.Len())
 	}
-	return s
+	return sb.String()
 }

@@ -303,15 +303,16 @@ func TestGridPairsMatchBruteForce(t *testing.T) {
 			}
 		}
 	}
-	var grid cellGrid
-	grid.init(10)
-	got := grid.pairs(nodes, nil)
-	if len(got) != len(want) {
-		t.Fatalf("grid pairs = %v, want %d pairs", got, len(want))
+	got := map[[2]int32]bool{}
+	for _, l := range w.linkList {
+		got[[2]int32{int32(l.a.ID), int32(l.b.ID)}] = true
 	}
-	for _, p := range got {
-		if !want[p] {
-			t.Fatalf("unexpected pair %v", p)
+	if len(got) != len(want) {
+		t.Fatalf("links = %v, want %d pairs", got, len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("missing pair %v", p)
 		}
 	}
 }

@@ -41,9 +41,49 @@ func DefaultEERConfig(lambda int) EERConfig {
 
 // eerShared is per-world state shared by all EER routers: the MEMD scratch
 // matrix (the MD of Theorem 3 is transient, so one O(n²) buffer serves
-// every node on the single simulation goroutine).
+// every node on the single simulation goroutine), plus freelists of
+// per-contact state. Contacts are constant churn — every one allocated a
+// snapshot, a decision map and a MEMD vector — so recycling them removes
+// the router layer's steady-state allocations entirely.
 type eerShared struct {
-	memd *core.MEMD
+	memd     *core.MEMD
+	snapPool []*core.EEVSnapshot
+	ctPool   []*eerContact
+}
+
+func (sh *eerShared) getSnapshot() *core.EEVSnapshot {
+	if n := len(sh.snapPool); n > 0 {
+		s := sh.snapPool[n-1]
+		sh.snapPool = sh.snapPool[:n-1]
+		return s
+	}
+	return &core.EEVSnapshot{}
+}
+
+func (sh *eerShared) getContact(t0 float64) *eerContact {
+	if n := len(sh.ctPool); n > 0 {
+		st := sh.ctPool[n-1]
+		sh.ctPool = sh.ctPool[:n-1]
+		st.t0 = t0
+		st.memd = nil
+		clear(st.decided)
+		return st
+	}
+	return &eerContact{t0: t0, decided: make(map[int]eerDecision), pooled: true}
+}
+
+// putContact recycles a contact and its snapshot. Only pooled contacts
+// (those from getContact) are recycled; decide's defensive fallback
+// contacts are left to the garbage collector.
+func (sh *eerShared) putContact(st *eerContact) {
+	if !st.pooled {
+		return
+	}
+	if st.snap != nil {
+		sh.snapPool = append(sh.snapPool, st.snap)
+		st.snap = nil
+	}
+	sh.ctPool = append(sh.ctPool, st)
 }
 
 // EER implements the paper's Expected-Encounter based Routing (Section
@@ -67,7 +107,9 @@ type eerContact struct {
 	t0      float64
 	snap    *core.EEVSnapshot
 	memd    []float64 // MEMD from self to every node, by id; nil until built
+	memdBuf []float64 // retained backing array for memd across recycling
 	decided map[int]eerDecision
+	pooled  bool // came from the shared freelist; recycled on contact down
 }
 
 // eerDecision is the meeting-time decision for one message.
@@ -124,19 +166,26 @@ func (r *EER) ContactUp(t float64, peer *network.Node) {
 	if pr, ok := peer.Router.(*EER); ok {
 		core.SyncPair(r.mi, pr.mi)
 	}
-	r.contacts[peer.ID] = &eerContact{t0: t, decided: make(map[int]eerDecision)}
+	r.contacts[peer.ID] = r.shared.getContact(t)
 }
 
 // ContactDown implements network.Router.
 func (r *EER) ContactDown(t float64, peer *network.Node) {
 	r.Base.ContactDown(t, peer)
-	delete(r.contacts, peer.ID)
+	if st := r.contacts[peer.ID]; st != nil {
+		r.shared.putContact(st)
+		delete(r.contacts, peer.ID)
+	}
 }
 
 // snapshot lazily builds the meeting-time EEV snapshot for a contact.
 func (r *EER) snapshot(st *eerContact) *core.EEVSnapshot {
 	if st.snap == nil {
-		st.snap = r.hist.SnapshotEEV(st.t0)
+		if st.pooled {
+			st.snap = r.hist.SnapshotEEVInto(st.t0, r.shared.getSnapshot())
+		} else {
+			st.snap = r.hist.SnapshotEEV(st.t0)
+		}
 	}
 	return st.snap
 }
@@ -149,7 +198,8 @@ func (r *EER) memdTo(st *eerContact, dst int) float64 {
 			r.computeMeanIntervalMD(st)
 		} else {
 			r.shared.memd.Compute(r.Self.ID, st.t0, r.hist, r.mi)
-			st.memd = append([]float64(nil), r.shared.memd.Distances()...)
+			st.memd = append(st.memdBuf[:0], r.shared.memd.Distances()...)
+			st.memdBuf = st.memd
 		}
 	}
 	return st.memd[dst]

@@ -131,12 +131,7 @@ func (r *MaxProp) ContactUp(t float64, peer *network.Node) {
 		}
 	}
 	// Ack merge: each side learns the other's delivered set.
-	for id := range peer.KnownDeliveredIDs() {
-		r.Self.LearnDelivered(id)
-	}
-	for id := range r.Self.KnownDeliveredIDs() {
-		peer.LearnDelivered(id)
-	}
+	r.Self.SyncKnownDelivered(peer)
 	r.PurgeKnownDelivered()
 	pr.PurgeKnownDelivered()
 }

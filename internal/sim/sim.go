@@ -15,6 +15,11 @@ import (
 )
 
 // Event is a callback scheduled to fire at a simulated time.
+//
+// A handle returned by Schedule is valid until the event fires or is
+// cancelled; after that the queue may recycle the Event for a later
+// Schedule, so holders must drop their reference (Link does this by
+// nilling its field before running the completion).
 type Event struct {
 	At   float64
 	Fire func(t float64)
@@ -55,10 +60,13 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// Queue is a deterministic future-event list.
+// Queue is a deterministic future-event list. Fired events are recycled
+// through a freelist, so steady-state scheduling (one transfer completion
+// per contact, one generation event per message, ...) allocates nothing.
 type Queue struct {
-	h   eventHeap
-	seq int64
+	h    eventHeap
+	seq  int64
+	free []*Event
 }
 
 // NewQueue returns an empty event queue.
@@ -68,10 +76,18 @@ func NewQueue() *Queue { return &Queue{} }
 func (q *Queue) Len() int { return len(q.h) }
 
 // Schedule enqueues fire to run at time at and returns a handle that can be
-// passed to Cancel.
+// passed to Cancel. The handle must not be used after the event fires.
 func (q *Queue) Schedule(at float64, fire func(t float64)) *Event {
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = &Event{}
+	}
 	q.seq++
-	e := &Event{At: at, Fire: fire, seq: q.seq}
+	*e = Event{At: at, Fire: fire, seq: q.seq}
 	heap.Push(&q.h, e)
 	return e
 }
@@ -101,6 +117,12 @@ func (q *Queue) RunUntil(t float64) {
 	for len(q.h) > 0 && q.h[0].At <= t {
 		e := heap.Pop(&q.h).(*Event)
 		e.Fire(e.At)
+		// Recycle after the callback returns: the callback may still read
+		// the event (and anything it schedules pulls from the freelist
+		// first, never this event). Cancelled events are NOT recycled so
+		// their handles keep answering Cancelled() truthfully.
+		e.Fire = nil
+		q.free = append(q.free, e)
 	}
 }
 

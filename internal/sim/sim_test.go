@@ -187,3 +187,50 @@ func TestRunnerInvalidTickPanics(t *testing.T) {
 	}()
 	NewRunner(0)
 }
+
+func TestQueueRecyclesFiredEvents(t *testing.T) {
+	q := NewQueue()
+	fired := 0
+	e1 := q.Schedule(1, func(float64) { fired++ })
+	q.RunUntil(1)
+	// The fired event's storage may be handed out again.
+	e2 := q.Schedule(2, func(float64) { fired += 10 })
+	if e1 != e2 {
+		t.Fatal("fired event was not recycled")
+	}
+	q.RunUntil(2)
+	if fired != 11 {
+		t.Fatalf("fired = %d, want 11", fired)
+	}
+}
+
+func TestQueueDoesNotRecycleCancelledEvents(t *testing.T) {
+	q := NewQueue()
+	e := q.Schedule(1, func(float64) { t.Fatal("cancelled event fired") })
+	q.Cancel(e)
+	e2 := q.Schedule(2, func(float64) {})
+	if e == e2 {
+		t.Fatal("cancelled handle was recycled; Cancelled() would lie")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled lost after later Schedule")
+	}
+	q.RunUntil(3)
+}
+
+// TestQueueSteadyStateAllocFree proves schedule/fire cycles reuse event
+// storage.
+func TestQueueSteadyStateAllocFree(t *testing.T) {
+	q := NewQueue()
+	at := 0.0
+	allocs := testing.AllocsPerRun(200, func() {
+		at++
+		q.Schedule(at, nil2)
+		q.RunUntil(at)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func nil2(float64) {}
