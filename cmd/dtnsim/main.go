@@ -29,22 +29,36 @@ func main() {
 		tick     = flag.Float64("tick", 0.25, "simulation tick in seconds")
 		seeds    = flag.Int("seeds", 1, "number of seeds to average")
 		seed     = flag.Int64("seed", 1, "base seed (used when -seeds 1)")
-		mobility = flag.String("mobility", "bus", "mobility model: bus or rwp")
+		mobility = flag.String("mobility", "bus", "mobility model: bus, rwp or city")
+		shards   = flag.Int("shards", 0, "per-world tick shards (0 = serial; results identical)")
+		city     = flag.Bool("city", false, "start from the 10k-node CityScale preset instead of the paper defaults")
 		verbose  = flag.Bool("v", false, "print per-seed summaries")
 	)
 	flag.Parse()
 
 	s := experiment.Default()
-	s.Protocol = experiment.Protocol(*protocol)
-	s.Nodes = *nodes
-	s.Duration = *duration
-	s.Lambda = *lambda
-	s.Alpha = *alpha
-	s.TTL = *ttl
-	s.BufBytes = *bufKB * 1024
-	s.MsgSize = *msgKB * 1024
-	s.Tick = *tick
-	s.Mobility = *mobility
+	if *city {
+		// Preset first; explicitly-set flags below still override it.
+		s = experiment.CityScale()
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	apply := func(name string, f func()) {
+		if set[name] || !*city {
+			f()
+		}
+	}
+	apply("protocol", func() { s.Protocol = experiment.Protocol(*protocol) })
+	apply("nodes", func() { s.Nodes = *nodes })
+	apply("duration", func() { s.Duration = *duration })
+	apply("lambda", func() { s.Lambda = *lambda })
+	apply("alpha", func() { s.Alpha = *alpha })
+	apply("ttl", func() { s.TTL = *ttl })
+	apply("buffer", func() { s.BufBytes = *bufKB * 1024 })
+	apply("msgsize", func() { s.MsgSize = *msgKB * 1024 })
+	apply("tick", func() { s.Tick = *tick })
+	apply("mobility", func() { s.Mobility = *mobility })
+	s.Shards = *shards
 	s.Seed = *seed
 
 	start := time.Now()
@@ -63,7 +77,7 @@ func main() {
 	}
 	mean := metrics.Mean(sums)
 	fmt.Printf("protocol=%s nodes=%d duration=%.0fs lambda=%d alpha=%.2f seeds=%d\n",
-		*protocol, *nodes, *duration, *lambda, *alpha, len(sums))
+		s.Protocol, s.Nodes, s.Duration, s.Lambda, s.Alpha, len(sums))
 	fmt.Println(strings.Repeat("-", 64))
 	fmt.Printf("delivery ratio   %.3f\n", mean.DeliveryRatio)
 	fmt.Printf("avg latency      %.1f s (median %.1f s)\n", mean.AvgLatency, mean.MedianLatency)

@@ -22,6 +22,7 @@ func main() {
 		seeds    = flag.Int("seeds", 3, "seeds per point")
 		duration = flag.Float64("duration", 6000, "simulated seconds")
 		workers  = flag.Int("workers", 0, "cap simulation workers (0 = all cores)")
+		shards   = flag.Int("shards", 0, "per-world tick shards (0 = serial; summaries identical)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -32,6 +33,7 @@ func main() {
 	base.Protocol = experiment.Protocol(*protocol)
 	base.Nodes = *nodes
 	base.Duration = *duration
+	base.Shards = *shards
 
 	var (
 		values []float64

@@ -63,6 +63,12 @@ type Scenario struct {
 	// Simulation parameters.
 	Duration float64
 	Tick     float64
+	// Shards runs each world's per-tick work on that many goroutines with
+	// a deterministic merge (network.Config.Shards). 0 = single-threaded
+	// tick path; results are bit-identical for every value. Useful for
+	// single huge worlds (CityScale); multi-run sweeps already saturate
+	// cores through the worker pool, so leave it 0 there.
+	Shards int
 
 	// Physical layer.
 	Range     float64
@@ -76,7 +82,7 @@ type Scenario struct {
 	TrafficStop                    float64 // 0 = Duration
 
 	// Mobility.
-	Mobility           string // "bus" (default) or "rwp"
+	Mobility           string // "bus" (default), "rwp" or "city"
 	MinSpeed, MaxSpeed float64
 	MinDwell, MaxDwell float64
 	Map                mapgen.Config
@@ -123,6 +129,32 @@ func Quick() Scenario {
 	return s
 }
 
+// CityScale returns the >=10k-node city scenario the sharded tick path
+// targets: a metropolitan-sized map with a large bus fleet threading
+// districts full of community walkers ("city" mobility). One world at this
+// scale is where Config.Shards pays off — BenchmarkCityScale measures it.
+func CityScale() Scenario {
+	s := Default()
+	s.Nodes = 10000
+	// Quota-based spray keeps per-contact router work O(1); the paper's
+	// expectation-based protocols carry O(n)–O(n²) estimator state per
+	// node, which at 10⁴ nodes would swamp the engine this preset is
+	// meant to measure (and EER's per-contact MEMD is a dense Dijkstra).
+	s.Protocol = SprayAndWait
+	s.Mobility = "city"
+	s.Map.Width = 12000
+	s.Map.Height = 9000
+	s.Map.GridX = 40
+	s.Map.GridY = 30
+	s.Map.Diagonals = 8
+	s.Map.Lines = 40
+	s.Map.StopsPerLine = 8
+	s.Map.Districts = 8
+	s.Duration = 600
+	s.Tick = 0.5
+	return s
+}
+
 // Build constructs the world, movers, routers and traffic for the
 // scenario, returning the ready-to-run world and its runner. Most callers
 // want Run; Build is exposed for tests and tools that need to inspect the
@@ -134,7 +166,7 @@ func (s Scenario) Build() (*network.World, *sim.Runner) {
 	runner := sim.NewRunner(s.Tick)
 	w := network.New(s.networkConfig(), runner)
 
-	rm := mapgen.Generate(s.Map, s.MapSeed)
+	rm := mapgen.Load(s.Map, s.MapSeed)
 	reg := community.FromAssigner(s.Nodes, rm.DistrictOfNode)
 	factory := s.routerFactory(reg)
 
@@ -211,7 +243,7 @@ func (s Scenario) routerFactory(reg *community.Registry) func() network.Router {
 func BuildBare(s Scenario, router func(i int) network.Router) (*network.World, *sim.Runner) {
 	runner := sim.NewRunner(s.Tick)
 	w := network.New(s.networkConfig(), runner)
-	rm := mapgen.Generate(s.Map, s.MapSeed)
+	rm := mapgen.Load(s.Map, s.MapSeed)
 	root := xrand.New(s.Seed)
 	for i := 0; i < s.Nodes; i++ {
 		rng := root.Derive(fmt.Sprintf("node-%d", i))
@@ -227,7 +259,29 @@ func BuildBare(s Scenario, router func(i int) network.Router) (*network.World, *
 // both bus and random-waypoint movers draw per-leg speeds from
 // [MinSpeed, MaxSpeed], so no node ever outruns it.
 func (s Scenario) networkConfig() network.Config {
-	return network.Config{Range: s.Range, Bandwidth: s.Bandwidth, MaxSpeed: s.MaxSpeed}
+	return network.Config{Range: s.Range, Bandwidth: s.Bandwidth, MaxSpeed: s.MaxSpeed, Shards: s.Shards}
+}
+
+// City mobility mixes one bus per cityBusEvery nodes with community
+// walkers at pedestrian speeds. Walker speeds stay below every bus speed
+// range in use, so Scenario.MaxSpeed keeps bounding the whole fleet.
+const (
+	cityBusEvery     = 10
+	cityWalkMinSpeed = 0.5 // m/s
+	cityWalkMaxSpeed = 1.5 // m/s
+	cityWalkPHome    = 0.8 // probability a walker's next waypoint is in its home district
+)
+
+// cityIsBus reports whether node i drives a bus. Buses come in blocks of
+// `lines` consecutive ids every cityBusEvery*lines nodes, so the canonical
+// round-robin LineOfNode assignment puts exactly one bus of each block on
+// each line: every line gets service and every district gets buses. A
+// plain i%cityBusEvery == 0 rule would alias with the same round-robin
+// (gcd resonance) and leave most lines busless — e.g. lines {0,10,20,30}
+// only at CityScale's 40 lines. At scale (nodes >> cityBusEvery*lines)
+// the bus share converges to 1/cityBusEvery.
+func cityIsBus(i, lines int) bool {
+	return i%(cityBusEvery*lines) < lines
 }
 
 // buildMover constructs node i's mover per the scenario's mobility model.
@@ -238,6 +292,16 @@ func buildMover(s Scenario, rm *mapgen.RoadMap, i int, rng *xrand.Source) mobili
 	case "rwp":
 		return mobility.NewRandomWaypoint(geo.NewRect(geo.Point{}, geo.Point{X: s.Map.Width, Y: s.Map.Height}),
 			s.MinSpeed, s.MaxSpeed, s.MinDwell, s.MaxDwell, rng)
+	case "city":
+		// Bus nodes drive their round-robin line (cityIsBus covers every
+		// line); walkers anchor to the district that same assignment gives
+		// them, so the community registry stays consistent for CR and ENEC.
+		if cityIsBus(i, len(rm.Lines)) {
+			return mobility.NewBus(rm, rm.LineOfNode(i), s.MinSpeed, s.MaxSpeed, s.MinDwell, s.MaxDwell, rng)
+		}
+		home := rm.DistrictRects[rm.DistrictOfNode(i)%len(rm.DistrictRects)]
+		return mobility.NewHomeZone(rm.Bounds, home, cityWalkPHome,
+			cityWalkMinSpeed, cityWalkMaxSpeed, s.MinDwell, s.MaxDwell, rng)
 	default:
 		panic("experiment: unknown mobility model " + s.Mobility)
 	}

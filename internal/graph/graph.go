@@ -8,6 +8,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Graph is a weighted undirected graph over vertices 0..n-1 with adjacency
@@ -163,10 +164,15 @@ func (g *Graph) Connected() bool {
 	return count == g.n
 }
 
-// PathCache memoises shortest paths on a fixed graph. Bus movement asks for
-// the same stop-to-stop paths thousands of times per run.
+// PathCache memoises shortest paths on a fixed graph. Bus movement asks
+// for the same stop-to-stop paths thousands of times per run. It is safe
+// for concurrent use: sharded tick workers and memoised road maps shared
+// across pooled simulations all query one cache.
 type PathCache struct {
-	g     *Graph
+	g  *Graph
+	mu sync.RWMutex
+	// paths is written once per key under mu; the slices themselves are
+	// immutable after insertion.
 	paths map[[2]int][]int
 }
 
@@ -177,13 +183,25 @@ func NewPathCache(g *Graph) *PathCache {
 
 // Path returns the cached shortest path from src to dst (nil if
 // unreachable). The returned slice is shared; callers must not mutate it.
+// Concurrent callers racing on a miss each compute the (deterministic)
+// path outside the lock, but every caller receives the first slice stored,
+// so one canonical slice per key circulates.
 func (c *PathCache) Path(src, dst int) []int {
 	key := [2]int{src, dst}
-	if p, ok := c.paths[key]; ok {
+	c.mu.RLock()
+	p, ok := c.paths[key]
+	c.mu.RUnlock()
+	if ok {
 		return p
 	}
-	p, _ := c.g.ShortestPath(src, dst)
-	c.paths[key] = p
+	p, _ = c.g.ShortestPath(src, dst)
+	c.mu.Lock()
+	if q, ok := c.paths[key]; ok {
+		p = q
+	} else {
+		c.paths[key] = p
+	}
+	c.mu.Unlock()
 	return p
 }
 

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// pathCacheTestGraph builds a 6x6 grid graph with unit-ish weights so
+// many distinct shortest paths exist.
+func pathCacheTestGraph() *Graph {
+	const nx, ny = 6, 6
+	g := New(nx * ny)
+	v := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				g.AddEdge(v(x, y), v(x+1, y), 1+0.01*float64(y))
+			}
+			if y+1 < ny {
+				g.AddEdge(v(x, y), v(x, y+1), 1+0.01*float64(x))
+			}
+		}
+	}
+	return g
+}
+
+// TestPathCacheConcurrent hammers one PathCache from many goroutines over
+// the same key set (run under -race in CI): every caller must observe the
+// identical canonical slice per key, equal to an uncached shortest path.
+func TestPathCacheConcurrent(t *testing.T) {
+	g := pathCacheTestGraph()
+	c := NewPathCache(g)
+	type query struct{ src, dst int }
+	var queries []query
+	for src := 0; src < g.N(); src += 3 {
+		for dst := 0; dst < g.N(); dst += 5 {
+			queries = append(queries, query{src, dst})
+		}
+	}
+
+	const workers = 8
+	results := make([][][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Workers walk the query list in different orders so lookups
+			// and first-computations interleave.
+			out := make([][]int, len(queries))
+			for k := range queries {
+				idx := (k*7 + w*13) % len(queries)
+				q := queries[idx]
+				out[idx] = c.Path(q.src, q.dst)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+
+	for qi, q := range queries {
+		want, wd := g.ShortestPath(q.src, q.dst)
+		if math.IsInf(wd, 1) {
+			t.Fatalf("grid graph disconnected at %v", q)
+		}
+		first := results[0][qi]
+		if len(first) != len(want) {
+			t.Fatalf("query %v: cached path length %d, want %d", q, len(first), len(want))
+		}
+		for w := 1; w < workers; w++ {
+			got := results[w][qi]
+			if len(got) != len(first) {
+				t.Fatalf("query %v: workers saw different paths", q)
+			}
+			// Same canonical backing slice, not merely equal contents.
+			if len(first) > 0 && &got[0] != &first[0] {
+				t.Fatalf("query %v: workers hold different slice instances", q)
+			}
+		}
+		// And the canonical slice must cost what Dijkstra says.
+		var sum float64
+		for i := 1; i < len(first); i++ {
+			sum += edgeWeight(t, g, first[i-1], first[i])
+		}
+		if math.Abs(sum-wd) > 1e-9 {
+			t.Fatalf("query %v: cached path weight %g, want %g", q, sum, wd)
+		}
+	}
+}
+
+func edgeWeight(t *testing.T, g *Graph, u, v int) float64 {
+	t.Helper()
+	for _, e := range g.Neighbors(u) {
+		if e.To == v {
+			return e.Weight
+		}
+	}
+	t.Fatalf("no edge %d-%d on cached path", u, v)
+	return 0
+}

@@ -63,6 +63,10 @@ type RoadMap struct {
 	// Center is the most central grid vertex (kept for tools that need a
 	// reference downtown point; lines do not all pass through it).
 	Center int
+	// DistrictRects is the home zone of each district in world
+	// coordinates (the unjittered extent of its grid tile). Community
+	// walkers in city-scale scenarios anchor to these.
+	DistrictRects []geo.Rect
 
 	cache *graph.PathCache
 }
@@ -151,6 +155,13 @@ func Generate(cfg Config, seed int64) *RoadMap {
 		Center: vertex(nx/2, ny/2),
 	}
 	rm.cache = graph.NewPathCache(g)
+	for d := 0; d < cfg.Districts; d++ {
+		x0, x1, y0, y1 := districtRect(d, cfg.Districts, nx, ny)
+		rm.DistrictRects = append(rm.DistrictRects, geo.NewRect(
+			geo.Point{X: float64(x0) * dx, Y: float64(y0) * dy},
+			geo.Point{X: float64(x1) * dx, Y: float64(y1) * dy},
+		))
+	}
 	rm.generateLines(cfg, rng, nx, ny)
 	return rm
 }

@@ -73,6 +73,10 @@ func (c *Collector) MessageDropped() { c.drops++ }
 // MessageExpired records a TTL expiry purge.
 func (c *Collector) MessageExpired() { c.expired++ }
 
+// MessagesExpired records n TTL expiry purges at once — the sharded expiry
+// sweep counts per shard and merges here.
+func (c *Collector) MessagesExpired(n int) { c.expired += n }
+
 // MessageRefused records a buffer refusal (message larger than buffer).
 func (c *Collector) MessageRefused() { c.refused++ }
 

@@ -211,6 +211,17 @@ func (g *cellGrid) update(i int32, pos geo.Point) bool {
 	return true
 }
 
+// cellChanged reports whether update(i, pos) would re-bucket node i,
+// without mutating anything. The sharded tick path calls it concurrently
+// from shard workers (no grid writer may run at the same time); the serial
+// merge then calls update only for flagged nodes, which reproduces the
+// serial path's moved set exactly.
+func (g *cellGrid) cellChanged(i int32, pos geo.Point) bool {
+	cx := int32(math.Floor(pos.X / g.cell))
+	cy := int32(math.Floor(pos.Y / g.cell))
+	return g.slotOf[i] < 0 || g.cellOf[i] != cellKeyOf(cx, cy)
+}
+
 // removeFromBucket takes node i out of its current bucket, preserving
 // order.
 func (g *cellGrid) removeFromBucket(i int32) {
@@ -247,6 +258,19 @@ func (g *cellGrid) neighborSlots(idx int32) *[9]int32 {
 			}
 		}
 		s.nbrGen = g.layoutGen
+	}
+	return &s.nbr
+}
+
+// neighborsCached returns the 3x3 neighbour slot indices of the bucket at
+// slot idx, requiring the cache to be warm already. Shard workers use it
+// concurrently: unlike neighborSlots it never writes, so concurrent scans
+// of one bucket are race-free. The serial merge phase warms the caches of
+// every moved node's bucket (the only buckets scanned) before workers run.
+func (g *cellGrid) neighborsCached(idx int32) *[9]int32 {
+	s := &g.slots[idx]
+	if s.nbrGen != g.layoutGen {
+		panic("network: neighborsCached on a stale neighbour cache")
 	}
 	return &s.nbr
 }
@@ -332,6 +356,17 @@ func (s *pairSet) add(a, b int32) bool {
 	}
 	s.m[k] = struct{}{}
 	return true
+}
+
+// has reports whether pair (a<b) is present. It is read-only, so shard
+// workers may call it concurrently while no tracker mutation runs.
+func (s *pairSet) has(a, b int32) bool {
+	if s.words != nil {
+		bit := uint64(a)*uint64(s.n) + uint64(b)
+		return s.words[bit/64]&(uint64(1)<<(bit%64)) != 0
+	}
+	_, ok := s.m[pairKey(a, b)]
+	return ok
 }
 
 func (s *pairSet) remove(a, b int32) {

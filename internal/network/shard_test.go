@@ -1,0 +1,219 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Sharded-vs-serial parity: Config.Shards must never change simulation
+// results — not the metrics, not the set of contacts, and not the order in
+// which contact callbacks fire. These tests rebuild identical randomized
+// worlds per shard count and compare everything observable.
+
+// shardCounts are the configurations the parity suite sweeps; 0 is the
+// serial reference path.
+var shardCounts = []int{0, 1, 2, 8}
+
+// shardTrace is everything observable about one run: the final metrics
+// snapshot, each node's contact callback sequences, and the final active
+// link list in establishment order.
+type shardTrace struct {
+	summary    string
+	ups, downs [][]int
+	links      [][2]int32
+}
+
+func traceOf(w *World, probes []*probe) shardTrace {
+	tr := shardTrace{summary: fmt.Sprintf("%+v", w.Metrics.Summary())}
+	for _, p := range probes {
+		tr.ups = append(tr.ups, append([]int(nil), p.ups...))
+		tr.downs = append(tr.downs, append([]int(nil), p.downs...))
+	}
+	for _, l := range w.linkList {
+		tr.links = append(tr.links, [2]int32{int32(l.a.ID), int32(l.b.ID)})
+	}
+	return tr
+}
+
+func compareTraces(t *testing.T, shards int, want, got shardTrace) {
+	t.Helper()
+	if want.summary != got.summary {
+		t.Fatalf("shards=%d: summary diverged\n  serial  %s\n  sharded %s", shards, want.summary, got.summary)
+	}
+	if len(want.ups) != len(got.ups) {
+		t.Fatalf("shards=%d: node count diverged", shards)
+	}
+	for i := range want.ups {
+		if !equalInts(want.ups[i], got.ups[i]) {
+			t.Fatalf("shards=%d: node %d ContactUp order diverged\n  serial  %v\n  sharded %v", shards, i, want.ups[i], got.ups[i])
+		}
+		if !equalInts(want.downs[i], got.downs[i]) {
+			t.Fatalf("shards=%d: node %d ContactDown order diverged\n  serial  %v\n  sharded %v", shards, i, want.downs[i], got.downs[i])
+		}
+	}
+	if len(want.links) != len(got.links) {
+		t.Fatalf("shards=%d: link count diverged: %d vs %d", shards, len(want.links), len(got.links))
+	}
+	for i := range want.links {
+		if want.links[i] != got.links[i] {
+			t.Fatalf("shards=%d: link list order diverged at %d: %v vs %v", shards, i, want.links[i], got.links[i])
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildMixedWorld assembles a world of random walkers, teleporters and
+// stationary nodes in a rect spanning negative coordinates — the motion
+// mix that stresses every discovery path of the broad phase.
+func buildMixedWorld(cfg Config, seed int64) (*World, *sim.Runner, []*probe) {
+	runner := sim.NewRunner(1)
+	w := New(cfg, runner)
+	rect := geo.NewRect(geo.Point{X: -130, Y: -70}, geo.Point{X: 110, Y: 90})
+	root := xrand.New(seed)
+	var probes []*probe
+	add := func(mv interface {
+		Pos() geo.Point
+		Step(float64) geo.Point
+	}) {
+		p := &probe{}
+		probes = append(probes, p)
+		w.AddNode(mv, buffer.New(0, nil), p)
+	}
+	for i := 0; i < 20; i++ {
+		rng := root.Derive(fmt.Sprintf("walk-%d", i))
+		start := geo.Point{X: rng.Uniform(rect.Min.X, rect.Max.X), Y: rng.Uniform(rect.Min.Y, rect.Max.Y)}
+		add(&randWalk{pos: start, rect: rect, maxStep: 8, rng: rng})
+	}
+	for i := 0; i < 10; i++ {
+		rng := root.Derive(fmt.Sprintf("tp-%d", i))
+		mv := &teleporter{rng: rng}
+		mv.Step(0)
+		add(mv)
+	}
+	for i := 0; i < 10; i++ {
+		add(fixed(float64(i%5)*6-15, float64(i/5)*6-12))
+	}
+	w.Start()
+	return w, runner, probes
+}
+
+// runMixed drives the mixed world for the given ticks, injecting
+// short-TTL messages so the (sharded) expiry sweep has work, and checks
+// naive O(N²) parity along the way.
+func runMixed(t *testing.T, w *World, runner *sim.Runner, ticks int) {
+	t.Helper()
+	for tick := 1; tick <= ticks; tick++ {
+		runner.Run(float64(tick))
+		comparePairSets(t, tick, bruteForcePairs(w), linkPairs(w))
+		if tick%10 == 0 {
+			from := tick % w.N()
+			to := (tick + 7) % w.N()
+			if from != to {
+				w.CreateMessage(runner.Now(), from, to, 500, 15)
+			}
+		}
+	}
+}
+
+// TestShardParityMixedMotion proves Shards ∈ {0,1,2,8} produce identical
+// metrics, contact callback order and link order over mixed mobility with
+// teleports and negative coordinates (no speed bound: every tracked pair
+// re-checks each tick).
+func TestShardParityMixedMotion(t *testing.T) {
+	for _, seed := range []int64{3, 17, 101} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			var ref shardTrace
+			for _, shards := range shardCounts {
+				cfg := Config{Range: 10, Bandwidth: 1000, Shards: shards}
+				w, runner, probes := buildMixedWorld(cfg, seed)
+				runMixed(t, w, runner, 250)
+				tr := traceOf(w, probes)
+				if shards == 0 {
+					ref = tr
+					continue
+				}
+				compareTraces(t, shards, ref, tr)
+			}
+		})
+	}
+}
+
+// TestShardParitySpeedBound repeats the sweep with an active speed bound,
+// so the conservative re-check scheduler's parked pairs (and their
+// re-park order) are part of what must match.
+func TestShardParitySpeedBound(t *testing.T) {
+	var ref shardTrace
+	for _, shards := range shardCounts {
+		cfg := Config{Range: 10, Bandwidth: 1000, MaxSpeed: 6, Shards: shards}
+		w, runner := buildParityWorld(t, cfg, 60, 4, 23)
+		var probes []*probe
+		for _, n := range w.Nodes() {
+			probes = append(probes, n.Router.(*probe))
+		}
+		for tick := 1; tick <= 300; tick++ {
+			runner.Run(float64(tick))
+			comparePairSets(t, tick, bruteForcePairs(w), linkPairs(w))
+		}
+		tr := traceOf(w, probes)
+		if shards == 0 {
+			ref = tr
+			continue
+		}
+		compareTraces(t, shards, ref, tr)
+	}
+}
+
+// TestShardedTransfersParity exercises the full transfer pipeline under
+// sharding: a stationary relay chain with real message forwarding, torn
+// by a teleporter crossing the chain. Shards must not perturb delivery
+// accounting.
+func TestShardedTransfersParity(t *testing.T) {
+	build := func(shards int) (*World, *sim.Runner, []*probe) {
+		runner := sim.NewRunner(1)
+		w := New(Config{Range: 10, Bandwidth: 1000, Shards: shards}, runner)
+		var probes []*probe
+		for i := 0; i < 6; i++ {
+			p := &probe{quota: 3}
+			probes = append(probes, p)
+			w.AddNode(fixed(float64(i)*8, 0), buffer.New(0, nil), p)
+		}
+		rng := xrand.New(5)
+		tp := &teleporter{rng: rng}
+		tp.Step(0)
+		probes = append(probes, &probe{})
+		w.AddNode(tp, buffer.New(0, nil), probes[len(probes)-1])
+		w.Start()
+		return w, runner, probes
+	}
+	var ref shardTrace
+	for _, shards := range shardCounts {
+		w, runner, probes := build(shards)
+		m := w.CreateMessage(0, 0, 5, 1000, 100)
+		probes[0].queue = append(probes[0].queue, &Plan{Msg: m, Give: 1, KeepAfter: -1})
+		for tick := 1; tick <= 60; tick++ {
+			runner.Run(float64(tick))
+		}
+		tr := traceOf(w, probes)
+		if shards == 0 {
+			ref = tr
+			continue
+		}
+		compareTraces(t, shards, ref, tr)
+	}
+}

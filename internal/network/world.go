@@ -32,6 +32,13 @@ type Config struct {
 	// for provably safe spans (see grid.go). 0 means "no bound known":
 	// detection stays exact but tracked pairs are re-checked every tick.
 	MaxSpeed float64
+	// Shards runs the per-tick work (mobility advance, cell-change
+	// detection, pair distance sweeps, expiry sweeps) on that many
+	// goroutines with a deterministic serial merge phase (see shard.go).
+	// 0 (or negative) keeps the single-threaded tick path. Any positive
+	// value produces bit-identical results to Shards == 0; values beyond
+	// GOMAXPROCS or the world size only add scheduling overhead.
+	Shards int
 }
 
 // DefaultConfig returns the paper's physical parameters.
@@ -51,9 +58,11 @@ type World struct {
 
 	grid      cellGrid
 	sched     pairSched
-	movedBuf  []int32    // scratch: nodes that changed cell this tick
-	newPairs  [][2]int32 // scratch: pairs that came into range this tick
-	tickDt    float64    // runner tick interval, for re-check scheduling
+	shard     shardScratch // sharded tick path buffers (Config.Shards > 0)
+	movedBuf  []int32      // scratch: nodes that changed cell this tick
+	newPairs  [][2]int32   // scratch: pairs that came into range this tick
+	scanBuf   [][2]int32   // scratch: candidates from one neighbourhood scan
+	tickDt    float64      // runner tick interval, for re-check scheduling
 	lastTick  float64
 	tickCount uint64
 	nextMsgID int
@@ -169,8 +178,13 @@ func (w *World) wake(n *Node, t float64) {
 }
 
 // Tick implements sim.Ticker: moves nodes, updates contacts and sweeps
-// expired messages.
+// expired messages. With Config.Shards > 0 the data-parallel parts run on
+// shard goroutines (shard.go); results are bit-identical either way.
 func (w *World) Tick(t float64) {
+	if w.cfg.Shards > 0 {
+		w.tickSharded(t)
+		return
+	}
 	dt := t - w.lastTick
 	w.lastTick = t
 	w.tickCount++
@@ -251,8 +265,13 @@ func (w *World) updateContacts(t float64) {
 		w.sched.reschedule(pairKey(int32(l.a.ID), int32(l.b.ID)), tick+w.recheckDelay(d2))
 	}
 	w.linkList = keep
-	// Establish new contacts in ascending pair order. The handful of
-	// pairs per tick makes insertion sort allocation-free and cheap.
+	w.establishNewContacts(newPairs, t)
+}
+
+// establishNewContacts fires contactUp for every pair in ascending pair
+// order. The handful of pairs per tick makes insertion sort
+// allocation-free and cheap. It consumes the slice (w.newPairs scratch).
+func (w *World) establishNewContacts(newPairs [][2]int32, t float64) {
 	for i := 1; i < len(newPairs); i++ {
 		p := newPairs[i]
 		j := i
@@ -269,44 +288,14 @@ func (w *World) updateContacts(t float64) {
 
 // scanNeighborhood tracks every untracked pair between freshly-moved node
 // i and the nodes bucketed in its 3x3 cell neighbourhood, parking an
-// immediate check. Cells that were already adjacent before i's move are
-// filtered to nodes that themselves moved this tick: an untracked pair
-// that was cell-adjacent before the tick would contradict the tracking
-// invariant (untracked implies non-adjacent), so only a move on the other
-// side can have created a new untracked adjacency there.
+// immediate check. The traversal (and its already-adjacent-cell filter)
+// lives in collectNeighborhood, shared with the sharded path; tracking the
+// collected pairs in order is exactly what the sharded merge does too.
 func (w *World) scanNeighborhood(i int32, tick uint64) {
-	g := &w.grid
-	key := g.cellOf[i]
-	cx := int32(uint32(key >> 32))
-	cy := int32(uint32(key))
-	hadPrev := g.prevValid[i]
-	var pcx, pcy int32
-	if hadPrev {
-		pk := g.prevCell[i]
-		pcx = int32(uint32(pk >> 32))
-		pcy = int32(uint32(pk))
-	}
-	nbr := g.neighborSlots(g.slotOf[i])
-	for k, idx := range nbr {
-		if idx < 0 {
-			continue
-		}
-		ccx := cx + int32(k/3) - 1
-		ccy := cy + int32(k%3) - 1
-		retained := hadPrev && chebWithin1(ccx, pcx) && chebWithin1(ccy, pcy)
-		for _, j := range g.slots[idx].nodes {
-			if j == i {
-				continue
-			}
-			if retained && g.moveEpoch[j] != g.epoch {
-				continue
-			}
-			a, b := i, j
-			if b < a {
-				a, b = b, a
-			}
-			w.sched.track(a, b, tick)
-		}
+	w.grid.neighborSlots(w.grid.slotOf[i]) // refresh the cache collectNeighborhood reads
+	w.scanBuf = w.collectNeighborhood(i, w.scanBuf[:0])
+	for _, p := range w.scanBuf {
+		w.sched.track(p[0], p[1], tick)
 	}
 }
 
