@@ -31,6 +31,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed (used when -seeds 1)")
 		mobility = flag.String("mobility", "bus", "mobility model: bus, rwp or city")
 		shards   = flag.Int("shards", 0, "per-world tick shards (0 = serial; results identical)")
+		sparse   = flag.Bool("sparse", false, "force the sparse estimator core for EER/CR/MaxProp (auto at >= 1000 nodes; summaries identical)")
 		city     = flag.Bool("city", false, "start from the 10k-node CityScale preset instead of the paper defaults")
 		verbose  = flag.Bool("v", false, "print per-seed summaries")
 	)
@@ -59,6 +60,7 @@ func main() {
 	apply("tick", func() { s.Tick = *tick })
 	apply("mobility", func() { s.Mobility = *mobility })
 	s.Shards = *shards
+	s.SparseEstimators = *sparse
 	s.Seed = *seed
 
 	start := time.Now()

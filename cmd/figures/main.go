@@ -31,12 +31,14 @@ func main() {
 		nodes  = flag.String("nodes", "", "override node counts, comma-separated")
 		outDur = flag.Float64("duration", 10000, "simulated seconds per run")
 		shards = flag.Int("shards", 0, "per-world tick shards (0 = serial; summaries identical). The pool already fills all cores, so set this only for few huge runs")
+		sparse = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
 	)
 	flag.Parse()
 
 	base := experiment.Default()
 	base.Duration = *outDur
 	base.Shards = *shards
+	base.SparseEstimators = *sparse
 	counts := []int{40, 80, 120, 160, 200, 240}
 	if *quick {
 		base.Duration = 4000

@@ -23,6 +23,7 @@ func main() {
 		duration = flag.Float64("duration", 6000, "simulated seconds")
 		workers  = flag.Int("workers", 0, "cap simulation workers (0 = all cores)")
 		shards   = flag.Int("shards", 0, "per-world tick shards (0 = serial; summaries identical)")
+		sparse   = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -34,6 +35,7 @@ func main() {
 	base.Nodes = *nodes
 	base.Duration = *duration
 	base.Shards = *shards
+	base.SparseEstimators = *sparse
 
 	var (
 		values []float64

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // DefaultWindow is the default number of meeting intervals retained per
@@ -49,40 +50,71 @@ func (r *intervalRing) forEach(f func(v float64)) {
 // intervals, as required by Section III-A.1 of the paper. Meeting intervals
 // are measured between consecutive contact starts.
 //
+// History comes in two storage modes with identical estimator semantics:
+// dense (NewHistory) keeps one slot per potential peer — O(n) per node,
+// right for figure-scale runs — while sparse (NewSparseHistory) keeps a
+// record per *observed* peer only, which is what lets the contact
+// expectation protocols run at city scale. Every estimator iterates peers
+// in ascending id order in both modes, so probabilities, EMDs and their
+// float sums are bit-identical across modes.
+//
 // History is not safe for concurrent use; in the simulator each node owns
 // one and all access happens on the single simulation goroutine.
 type History struct {
 	self   int
 	n      int
 	window int
-	last   []float64 // last contact start time per peer; NaN = never met
-	ivals  []intervalRing
-	met    []bool
+	// Dense storage (nil in sparse mode).
+	last  []float64 // last contact start time per peer; NaN = never met
+	ivals []intervalRing
+	met   []bool
+	// Sparse storage over observed peers only (nil in dense mode).
+	recs map[int]*peerRec
+	ids  []int // met peer ids, ascending
 }
 
-// NewHistory returns an empty history for node self in a network of n
-// nodes, retaining at most window intervals per peer. window <= 0 selects
-// DefaultWindow.
+// peerRec is one observed peer's sparse contact record.
+type peerRec struct {
+	last float64
+	ring intervalRing
+}
+
+// NewHistory returns an empty dense-mode history for node self in a
+// network of n nodes, retaining at most window intervals per peer.
+// window <= 0 selects DefaultWindow.
 func NewHistory(self, n, window int) *History {
+	h := newHistoryCommon(self, n, window)
+	h.last = make([]float64, n)
+	h.ivals = make([]intervalRing, n)
+	h.met = make([]bool, n)
+	for i := range h.last {
+		h.last[i] = math.NaN()
+	}
+	return h
+}
+
+// NewSparseHistory returns an empty sparse-mode history for node self in a
+// network of n nodes: storage grows with the number of distinct peers
+// actually contacted, never with n.
+func NewSparseHistory(self, n, window int) *History {
+	h := newHistoryCommon(self, n, window)
+	h.recs = make(map[int]*peerRec)
+	return h
+}
+
+func newHistoryCommon(self, n, window int) *History {
 	if self < 0 || self >= n {
 		panic(fmt.Sprintf("core: history self %d out of range [0,%d)", self, n))
 	}
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	h := &History{
-		self:   self,
-		n:      n,
-		window: window,
-		last:   make([]float64, n),
-		ivals:  make([]intervalRing, n),
-		met:    make([]bool, n),
-	}
-	for i := range h.last {
-		h.last[i] = math.NaN()
-	}
-	return h
+	return &History{self: self, n: n, window: window}
 }
+
+// Sparse reports whether the history uses sparse per-observed-peer
+// storage.
+func (h *History) Sparse() bool { return h.recs != nil }
 
 // Self returns the owning node id.
 func (h *History) Self() int { return h.self }
@@ -101,6 +133,10 @@ func (h *History) RecordContact(peer int, t float64) {
 	if peer == h.self {
 		panic("core: self-contact recorded")
 	}
+	if h.recs != nil {
+		h.recordSparse(peer, t)
+		return
+	}
 	if h.met[peer] {
 		dt := t - h.last[peer]
 		if dt < 0 {
@@ -115,36 +151,124 @@ func (h *History) RecordContact(peer int, t float64) {
 	h.last[peer] = t
 }
 
+// recordSparse is RecordContact's sparse-mode body: first meetings insert
+// a record (keeping the met-peer list ascending), later ones append the
+// interval to the peer's ring.
+func (h *History) recordSparse(peer int, t float64) {
+	if peer < 0 || peer >= h.n {
+		panic(fmt.Sprintf("core: peer %d out of range [0,%d)", peer, h.n))
+	}
+	rec := h.recs[peer]
+	if rec == nil {
+		i := sort.SearchInts(h.ids, peer)
+		h.ids = append(h.ids, 0)
+		copy(h.ids[i+1:], h.ids[i:])
+		h.ids[i] = peer
+		h.recs[peer] = &peerRec{last: t}
+		return
+	}
+	dt := t - rec.last
+	if dt < 0 {
+		panic(fmt.Sprintf("core: contact time going backwards for peer %d: %g after %g", peer, t, rec.last))
+	}
+	if rec.ring.buf == nil {
+		rec.ring = newIntervalRing(h.window)
+	}
+	rec.ring.push(dt)
+	rec.last = t
+}
+
+// peerState resolves peer's record in either storage mode: the last
+// contact time, the interval ring (nil when none was ever needed) and
+// whether the pair ever met.
+func (h *History) peerState(peer int) (last float64, ring *intervalRing, met bool) {
+	if h.recs != nil {
+		rec := h.recs[peer]
+		if rec == nil {
+			return 0, nil, false
+		}
+		return rec.last, &rec.ring, true
+	}
+	if !h.met[peer] {
+		return 0, nil, false
+	}
+	return h.last[peer], &h.ivals[peer], true
+}
+
+// forEachMet visits every peer the node has ever contacted, in ascending
+// id order — the shared iteration every cross-peer estimator reduces over,
+// identical in both storage modes.
+func (h *History) forEachMet(f func(peer int)) {
+	if h.recs != nil {
+		for _, id := range h.ids {
+			f(id)
+		}
+		return
+	}
+	for j, m := range h.met {
+		if m {
+			f(j)
+		}
+	}
+}
+
+// MetCount returns the number of distinct peers ever contacted.
+func (h *History) MetCount() int {
+	if h.recs != nil {
+		return len(h.ids)
+	}
+	n := 0
+	for _, m := range h.met {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
 // Met reports whether the node has ever contacted peer.
-func (h *History) Met(peer int) bool { return h.met[peer] }
+func (h *History) Met(peer int) bool {
+	_, _, met := h.peerState(peer)
+	return met
+}
 
 // LastContact returns the start time of the most recent contact with peer.
 // ok is false if they never met.
 func (h *History) LastContact(peer int) (t float64, ok bool) {
-	if !h.met[peer] {
+	last, _, met := h.peerState(peer)
+	if !met {
 		return 0, false
 	}
-	return h.last[peer], true
+	return last, true
 }
 
 // Intervals returns a copy of the recorded meeting intervals R(self,peer),
 // oldest first.
 func (h *History) Intervals(peer int) []float64 {
-	r := &h.ivals[peer]
+	_, r, met := h.peerState(peer)
+	if !met || r == nil {
+		return []float64{}
+	}
 	out := make([]float64, 0, r.len())
 	r.forEach(func(v float64) { out = append(out, v) })
 	return out
 }
 
 // IntervalCount returns r_ij, the number of recorded intervals for peer.
-func (h *History) IntervalCount(peer int) int { return h.ivals[peer].len() }
+func (h *History) IntervalCount(peer int) int {
+	_, r, met := h.peerState(peer)
+	if !met || r == nil {
+		return 0
+	}
+	return r.len()
+}
 
 // MeanInterval returns the average of the recorded meeting intervals
 // I(self,peer) = (1/r)·Σ Δt_k. ok is false when no interval is recorded.
 // This is the quantity node self publishes into its MI row.
 func (h *History) MeanInterval(peer int) (mean float64, ok bool) {
-	r := &h.ivals[peer]
-	if r.len() == 0 {
+	_, r, met := h.peerState(peer)
+	if !met || r == nil || r.len() == 0 {
 		return 0, false
 	}
 	sum := 0.0
@@ -162,14 +286,17 @@ func (h *History) MeanInterval(peer int) (mean float64, ok bool) {
 //
 // If the node never met peer, met is false and all counts are zero.
 func (h *History) conditioned(peer int, t, tau float64) (m, mTau, r int, sumM float64, met bool) {
-	if !h.met[peer] {
+	last, ring, known := h.peerState(peer)
+	if !known {
 		return 0, 0, 0, 0, false
 	}
-	elapsed := t - h.last[peer]
+	elapsed := t - last
 	if elapsed < 0 {
 		elapsed = 0
 	}
-	ring := &h.ivals[peer]
+	if ring == nil {
+		return 0, 0, 0, 0, true
+	}
 	r = ring.len()
 	ring.forEach(func(dt float64) {
 		if dt > elapsed {
@@ -225,7 +352,8 @@ func (h *History) EMD(peer int, t float64) (emd float64, ok bool) {
 		mean, _ := h.MeanInterval(peer)
 		return math.Max(mean, MinDelay), true
 	}
-	elapsed := t - h.last[peer]
+	last, _, _ := h.peerState(peer)
+	elapsed := t - last
 	if elapsed < 0 {
 		elapsed = 0
 	}
@@ -238,9 +366,17 @@ func (h *History) EMD(peer int, t float64) (emd float64, ok bool) {
 const MinDelay = 1e-9
 
 // EEV returns the expected encounter value of the node within (t, t+tau]
-// (Theorem 1): the sum of EncounterProb over all other nodes.
+// (Theorem 1): the sum of EncounterProb over all other nodes. Never-met
+// peers contribute an exact 0.0, so the sparse mode's met-peers-only sum is
+// bit-identical to the dense all-peers scan.
 func (h *History) EEV(t, tau float64) float64 {
 	sum := 0.0
+	if h.recs != nil {
+		for _, j := range h.ids {
+			sum += h.EncounterProb(j, t, tau)
+		}
+		return sum
+	}
 	for j := 0; j < h.n; j++ {
 		if j == h.self {
 			continue

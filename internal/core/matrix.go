@@ -9,6 +9,55 @@ import (
 // It behaves as "no edge" in the MEMD Dijkstra.
 var Unknown = math.Inf(1)
 
+// MeetingStore is the storage contract of the MI link state (Section
+// III-B.2): what every estimator consumer — the MEMD Dijkstra, the
+// freshness exchange, the routers — needs from meeting-interval storage,
+// independent of whether rows are dense arrays or sparse observed-peer
+// lists. The dense MeetingMatrix serves figure-scale runs; the
+// SparseMeetingStore serves city scale. Implementations live in this
+// package so that Sync can pair them.
+//
+// Contract: Interval returns Unknown when absent or uncovered and 0 on the
+// diagonal; RowUpdated returns -1 for never-published rows; ForEachKnown
+// visits exactly the finite off-diagonal entries of a row, in ascending
+// peer order — the iteration every simulation-visible float reduction runs
+// over, which is why ascending order is part of the contract rather than a
+// convenience.
+type MeetingStore interface {
+	// Size returns the number of covered nodes.
+	Size() int
+	// Covers reports whether the store includes global node id.
+	Covers(id int) bool
+	// Interval returns the published average meeting interval between a
+	// and b, or Unknown if absent or uncovered.
+	Interval(a, b int) float64
+	// RowUpdated returns the timestamp of the last update of id's row, or
+	// -1 if it was never set.
+	RowUpdated(id int) float64
+	// KnownRows returns how many rows have ever been published.
+	KnownRows() int
+	// UpdateOwnRow refreshes the row owned by self from its contact
+	// history at time t, restricted to covered peers.
+	UpdateOwnRow(self int, t float64, h *History)
+	// ForEachKnown visits owner's finite off-diagonal entries, ascending
+	// by peer id.
+	ForEachKnown(owner int, f func(peer int, interval float64))
+}
+
+// Sync merges two stores of the same implementation into the element-wise
+// fresher rows required by Algorithm 1 line 4 — the interface-level
+// SyncPair. Mixing implementations panics: a world runs one storage mode.
+func Sync(a, b MeetingStore) {
+	switch x := a.(type) {
+	case *MeetingMatrix:
+		SyncPair(x, b.(*MeetingMatrix))
+	case *SparseMeetingStore:
+		SyncSparse(x, b.(*SparseMeetingStore))
+	default:
+		panic(fmt.Sprintf("core: Sync over unknown MeetingStore implementation %T", a))
+	}
+}
+
 // MeetingMatrix is the link-state MI matrix of Section III-B.2: for a node
 // set {ids}, entry (i, j) holds node ids[i]'s published average meeting
 // interval to ids[j]. Each row is owned by the node it describes and
@@ -119,6 +168,25 @@ func (m *MeetingMatrix) UpdateOwnRow(self int, t float64, h *History) {
 		}
 	}
 	m.updated[i] = t
+}
+
+// ForEachKnown implements MeetingStore: the finite off-diagonal entries of
+// owner's row, ascending by peer id (the id list is ascending by
+// construction).
+func (m *MeetingMatrix) ForEachKnown(owner int, f func(peer int, interval float64)) {
+	i, ok := m.idx[owner]
+	if !ok {
+		return
+	}
+	row := m.rows[i]
+	for j, id := range m.ids {
+		if j == i {
+			continue
+		}
+		if v := row[j]; !math.IsInf(v, 1) {
+			f(id, v)
+		}
+	}
 }
 
 // Merge copies into m every row of other that is strictly fresher,

@@ -16,6 +16,11 @@ import (
 //
 // The MD matrix is scratch space reused across computations; only the MI
 // matrix persists per node.
+//
+// This is the dense half of the Theorem-3 machinery: O(n²) per contact
+// over a *MeetingMatrix, fastest at figure scale. SparseMEMD (sparse.go)
+// computes bit-identical delays over any MeetingStore in O(E log V) on the
+// recorded contact graph, which is what city-scale worlds use.
 type MEMD struct {
 	size    int
 	md      [][]float64 // row headers handed to Dijkstra

@@ -16,6 +16,7 @@ type EEVSnapshot struct {
 	h *History
 	t float64
 
+	// Dense-mode storage, one slot per potential peer.
 	offsets [][]float64 // per peer, ascending; nil when m = 0
 	overdue []bool      // r > 0 but m = 0
 	met     []bool
@@ -24,6 +25,16 @@ type EEVSnapshot struct {
 	// recycled snapshot (routers build one per contact) reaches a steady
 	// state with no heap allocations.
 	backing [][]float64
+
+	// Sparse-mode storage: only peers with at least one recorded interval,
+	// ascending by id; offs[k] holds ids[k]'s sorted future-meeting offsets
+	// and an empty offs[k] encodes the overdue case (probability 1). Peers
+	// without entries — never met, or met with an empty window — read as
+	// probability 0 exactly as in dense mode. Slices are truncated, never
+	// freed, so recycled snapshots reuse their backing arrays.
+	sparse bool
+	ids    []int
+	offs   [][]float64
 }
 
 // SnapshotEEV builds a snapshot of h at time t.
@@ -37,6 +48,10 @@ func (h *History) SnapshotEEV(t float64) *EEVSnapshot {
 func (h *History) SnapshotEEVInto(t float64, s *EEVSnapshot) *EEVSnapshot {
 	s.h = h
 	s.t = t
+	if h.recs != nil {
+		return h.snapshotSparse(t, s)
+	}
+	s.sparse = false
 	if len(s.offsets) != h.n {
 		s.offsets = make([][]float64, h.n)
 		s.backing = make([][]float64, h.n)
@@ -79,13 +94,60 @@ func (h *History) SnapshotEEVInto(t float64, s *EEVSnapshot) *EEVSnapshot {
 	return s
 }
 
+// snapshotSparse is SnapshotEEVInto's sparse-mode body: it walks the met
+// peers (ascending) instead of all n slots and stores entries only for
+// peers with a non-empty interval window.
+func (h *History) snapshotSparse(t float64, s *EEVSnapshot) *EEVSnapshot {
+	s.sparse = true
+	s.ids = s.ids[:0]
+	k := 0
+	for _, id := range h.ids {
+		rec := h.recs[id]
+		if rec.ring.len() == 0 {
+			continue // met once, no interval: probability 0, like dense mode
+		}
+		elapsed := t - rec.last
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		var offs []float64
+		if k < len(s.offs) {
+			offs = s.offs[k][:0]
+		}
+		rec.ring.forEach(func(dt float64) {
+			if dt > elapsed {
+				offs = append(offs, dt-elapsed)
+			}
+		})
+		sort.Float64s(offs)
+		if k < len(s.offs) {
+			s.offs[k] = offs
+		} else {
+			s.offs = append(s.offs, offs)
+		}
+		s.ids = append(s.ids, id)
+		k++
+	}
+	return s
+}
+
 // Time returns the instant the snapshot was taken.
 func (s *EEVSnapshot) Time() float64 { return s.t }
 
 // Prob returns the Theorem-1 encounter probability for peer within
 // (t, t+tau], identical to History.EncounterProb at the snapshot time.
 func (s *EEVSnapshot) Prob(peer int, tau float64) float64 {
-	if peer == s.h.self || tau <= 0 || !s.met[peer] {
+	if peer == s.h.self || tau <= 0 {
+		return 0
+	}
+	if s.sparse {
+		i := sort.SearchInts(s.ids, peer)
+		if i >= len(s.ids) || s.ids[i] != peer {
+			return 0
+		}
+		return s.probAt(i, tau)
+	}
+	if !s.met[peer] {
 		return 0
 	}
 	offs := s.offsets[peer]
@@ -95,6 +157,22 @@ func (s *EEVSnapshot) Prob(peer int, tau float64) float64 {
 		}
 		return 0
 	}
+	return probFromOffsets(offs, tau)
+}
+
+// probAt answers Prob for the sparse entry at position i.
+func (s *EEVSnapshot) probAt(i int, tau float64) float64 {
+	offs := s.offs[i]
+	if len(offs) == 0 {
+		return 1 // overdue: every observed interval has already elapsed
+	}
+	return probFromOffsets(offs, tau)
+}
+
+// probFromOffsets is the Theorem-1 probability over a sorted, non-empty
+// future-meeting offset list — shared by both storage modes so the equal-
+// tau boundary semantics cannot drift between them.
+func probFromOffsets(offs []float64, tau float64) float64 {
 	k := sort.SearchFloat64s(offs, tau)
 	// SearchFloat64s returns the first index with offs[i] >= tau; the
 	// probability wants offsets <= tau, so advance over equal values.
@@ -105,8 +183,20 @@ func (s *EEVSnapshot) Prob(peer int, tau float64) float64 {
 }
 
 // EEV returns the expected encounter value over all peers for horizon tau.
+// The sparse sum over stored entries equals the dense all-peers scan
+// bitwise: absent peers contribute an exact 0.0 and both visit ascending
+// ids.
 func (s *EEVSnapshot) EEV(tau float64) float64 {
 	sum := 0.0
+	if s.sparse {
+		if tau <= 0 {
+			return 0
+		}
+		for i := range s.ids {
+			sum += s.probAt(i, tau)
+		}
+		return sum
+	}
 	for j := 0; j < s.h.n; j++ {
 		sum += s.Prob(j, tau)
 	}

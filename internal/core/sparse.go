@@ -1,0 +1,456 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the sparse half of the estimator core: city-scale
+// implementations of the MeetingStore contract and the MEMD computation
+// whose state grows with the number of *observed* peers instead of the
+// network size. Real urban contact graphs are sparse — each node ever meets
+// a tiny fraction of the population — so per-row storage proportional to
+// recorded meetings recovers the paper's protocols at 10⁴+ nodes where the
+// dense n×n matrices cannot even be allocated.
+
+// SparseRow is one node's published row in a sparse link-state store: the
+// (peer, value) pairs the row's owner has actually observed, kept ascending
+// by peer id, plus the freshness timestamp the merge protocol compares.
+// Ascending order matters beyond lookup speed: every simulation-visible
+// float reduction over a row (normalisation sums, Dijkstra relaxations)
+// must visit entries in the same order as the dense implementation visits
+// column indices, or dense/sparse parity breaks on float associativity.
+type SparseRow struct {
+	// Updated is the row's last-refresh time; -1 = never published.
+	Updated float64
+
+	peers []int32
+	vals  []float64
+}
+
+// Len returns the number of stored entries.
+func (r *SparseRow) Len() int { return len(r.peers) }
+
+// Get returns the stored value for peer.
+func (r *SparseRow) Get(peer int) (float64, bool) {
+	i := sort.Search(len(r.peers), func(i int) bool { return int(r.peers[i]) >= peer })
+	if i < len(r.peers) && int(r.peers[i]) == peer {
+		return r.vals[i], true
+	}
+	return 0, false
+}
+
+// Set inserts or overwrites the value for peer, keeping the row sorted.
+func (r *SparseRow) Set(peer int, v float64) {
+	i := sort.Search(len(r.peers), func(i int) bool { return int(r.peers[i]) >= peer })
+	if i < len(r.peers) && int(r.peers[i]) == peer {
+		r.vals[i] = v
+		return
+	}
+	r.peers = append(r.peers, 0)
+	r.vals = append(r.vals, 0)
+	copy(r.peers[i+1:], r.peers[i:])
+	copy(r.vals[i+1:], r.vals[i:])
+	r.peers[i] = int32(peer)
+	r.vals[i] = v
+}
+
+// Reset drops all entries, retaining capacity.
+func (r *SparseRow) Reset() {
+	r.peers = r.peers[:0]
+	r.vals = r.vals[:0]
+}
+
+// Append adds an entry that must sort after every stored one — the bulk
+// path for callers iterating peers in ascending order.
+func (r *SparseRow) Append(peer int, v float64) {
+	if n := len(r.peers); n > 0 && int(r.peers[n-1]) >= peer {
+		panic(fmt.Sprintf("core: SparseRow.Append out of order: %d after %d", peer, r.peers[n-1]))
+	}
+	r.peers = append(r.peers, int32(peer))
+	r.vals = append(r.vals, v)
+}
+
+// ForEach visits the entries in ascending peer order.
+func (r *SparseRow) ForEach(f func(peer int, v float64)) {
+	for i, p := range r.peers {
+		f(int(p), r.vals[i])
+	}
+}
+
+// Sum returns the ascending-order sum of the stored values — bit-identical
+// to a dense row scan, whose absent entries contribute exact 0.0 no-ops.
+func (r *SparseRow) Sum() float64 {
+	sum := 0.0
+	for _, v := range r.vals {
+		sum += v
+	}
+	return sum
+}
+
+// Div divides every stored value by x, in ascending order.
+func (r *SparseRow) Div(x float64) {
+	for i := range r.vals {
+		r.vals[i] /= x
+	}
+}
+
+// copyFrom overwrites r with o's entries and freshness, reusing capacity.
+func (r *SparseRow) copyFrom(o *SparseRow) {
+	r.peers = append(r.peers[:0], o.peers...)
+	r.vals = append(r.vals[:0], o.vals...)
+	r.Updated = o.Updated
+}
+
+// SparseRows is a set of sparse rows keyed by owner id with the per-row
+// freshness merge of Algorithm 1 line 4 — the sparse counterpart of the
+// dense matrix's rows+updated arrays. The sparse MI store and MaxProp's
+// flooded probability vectors both build on it.
+type SparseRows struct {
+	rows map[int]*SparseRow
+}
+
+// NewSparseRows returns an empty row set.
+func NewSparseRows() *SparseRows {
+	return &SparseRows{rows: make(map[int]*SparseRow)}
+}
+
+// Row returns owner's row, or nil if the set holds none.
+func (s *SparseRows) Row(owner int) *SparseRow { return s.rows[owner] }
+
+// Ensure returns owner's row, creating an empty never-published one if
+// absent.
+func (s *SparseRows) Ensure(owner int) *SparseRow {
+	r := s.rows[owner]
+	if r == nil {
+		r = &SparseRow{Updated: -1}
+		s.rows[owner] = r
+	}
+	return r
+}
+
+// KnownRows returns how many rows have ever been published.
+func (s *SparseRows) KnownRows() int {
+	n := 0
+	for _, r := range s.rows {
+		if r.Updated >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MergeFresher copies into s every row of o that is strictly fresher,
+// returning the number of rows copied. Map iteration order is fine here:
+// row copies are independent, so no simulation-visible float order depends
+// on it.
+func (s *SparseRows) MergeFresher(o *SparseRows) int {
+	copied := 0
+	for id, or := range o.rows {
+		if or.Updated < 0 {
+			continue // never-published rows don't travel
+		}
+		mine := s.rows[id]
+		if mine == nil {
+			mine = &SparseRow{Updated: -1}
+			s.rows[id] = mine
+		}
+		if or.Updated > mine.Updated {
+			mine.copyFrom(or)
+			copied++
+		}
+	}
+	return copied
+}
+
+// SparseMeetingStore implements MeetingStore with per-row storage over
+// observed peers only: rows exist once published (own refresh) or learned
+// (freshness merge), and each row holds only the finite intervals its owner
+// recorded. An optional scope restricts the store to a node subset — CR's
+// intra-community MI — exactly like a dense matrix over scoped ids.
+type SparseMeetingStore struct {
+	size  int
+	scope map[int]struct{} // nil = all of 0..size-1
+	rows  *SparseRows
+}
+
+// NewSparseMeetingStore returns an empty sparse store covering nodes
+// 0..n-1.
+func NewSparseMeetingStore(n int) *SparseMeetingStore {
+	return &SparseMeetingStore{size: n, rows: NewSparseRows()}
+}
+
+// NewScopedSparseMeetingStore returns an empty sparse store covering
+// exactly the given global node ids.
+func NewScopedSparseMeetingStore(ids []int) *SparseMeetingStore {
+	scope := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := scope[id]; dup {
+			panic(fmt.Sprintf("core: duplicate id %d in sparse meeting store", id))
+		}
+		scope[id] = struct{}{}
+	}
+	return &SparseMeetingStore{size: len(ids), scope: scope, rows: NewSparseRows()}
+}
+
+// Size implements MeetingStore.
+func (s *SparseMeetingStore) Size() int { return s.size }
+
+// Covers implements MeetingStore.
+func (s *SparseMeetingStore) Covers(id int) bool {
+	if s.scope == nil {
+		return id >= 0 && id < s.size
+	}
+	_, ok := s.scope[id]
+	return ok
+}
+
+// Interval implements MeetingStore.
+func (s *SparseMeetingStore) Interval(a, b int) float64 {
+	if !s.Covers(a) || !s.Covers(b) {
+		return Unknown
+	}
+	if a == b {
+		return 0
+	}
+	row := s.rows.Row(a)
+	if row == nil {
+		return Unknown
+	}
+	if v, ok := row.Get(b); ok {
+		return v
+	}
+	return Unknown
+}
+
+// RowUpdated implements MeetingStore.
+func (s *SparseMeetingStore) RowUpdated(id int) float64 {
+	row := s.rows.Row(id)
+	if row == nil {
+		return -1
+	}
+	return row.Updated
+}
+
+// KnownRows implements MeetingStore.
+func (s *SparseMeetingStore) KnownRows() int { return s.rows.KnownRows() }
+
+// UpdateOwnRow implements MeetingStore: rebuild the row owned by self from
+// its contact history at time t, covering only in-scope peers with at least
+// one recorded interval.
+func (s *SparseMeetingStore) UpdateOwnRow(self int, t float64, h *History) {
+	if !s.Covers(self) {
+		panic(fmt.Sprintf("core: node %d not covered by sparse meeting store", self))
+	}
+	row := s.rows.Ensure(self)
+	row.Reset()
+	h.forEachMet(func(peer int) {
+		if !s.Covers(peer) {
+			return
+		}
+		if mean, ok := h.MeanInterval(peer); ok {
+			row.Append(peer, mean)
+		}
+	})
+	row.Updated = t
+}
+
+// ForEachKnown implements MeetingStore: every stored entry is a finite
+// recorded average, so the row is visited verbatim.
+func (s *SparseMeetingStore) ForEachKnown(owner int, f func(peer int, interval float64)) {
+	if row := s.rows.Row(owner); row != nil {
+		row.ForEach(f)
+	}
+}
+
+// SyncSparse merges a and b into the identical element-wise fresher rows,
+// the sparse counterpart of SyncPair.
+func SyncSparse(a, b *SparseMeetingStore) {
+	a.rows.MergeFresher(b.rows)
+	b.rows.MergeFresher(a.rows)
+}
+
+// dijItem is a pending (distance, vertex) heap entry.
+type dijItem struct {
+	d  float64
+	id int32
+}
+
+// SparseDijkstra runs heap-based Dijkstra over an implicit sparse graph
+// given by an edge callback, with reusable scratch: the distance map and
+// the heap persist across runs so steady-state computations allocate only
+// on growth. The heap is bounded by the reached vertex set — the recorded
+// contact graph — never by the network size.
+type SparseDijkstra struct {
+	dist map[int]float64
+	heap []dijItem
+}
+
+// NewSparseDijkstra returns a calculator with empty scratch.
+func NewSparseDijkstra() *SparseDijkstra {
+	return &SparseDijkstra{dist: make(map[int]float64)}
+}
+
+// Run computes shortest-path distances from src. For each settled vertex u,
+// edges(u, relax) must invoke relax once per outgoing edge; non-positive
+// and +Inf weights are ignored ("no edge"), matching the dense Dijkstra's
+// edge test, so callers may pass raw rows. Distances are bit-identical to
+// the dense computation over the equivalent matrix: with strictly positive
+// weights, every final distance is the minimum over dist[u]+w(u,v) of the
+// settled in-neighbours, independent of settle-order tie-breaks.
+func (d *SparseDijkstra) Run(src int, edges func(u int, relax func(v int, w float64))) {
+	clear(d.dist)
+	d.heap = d.heap[:0]
+	d.dist[src] = 0
+	d.push(dijItem{d: 0, id: int32(src)})
+	base := 0.0
+	relax := func(v int, w float64) {
+		if w <= 0 || math.IsInf(w, 1) {
+			return
+		}
+		nd := base + w
+		if cur, ok := d.dist[v]; !ok || nd < cur {
+			d.dist[v] = nd
+			d.push(dijItem{d: nd, id: int32(v)})
+		}
+	}
+	for len(d.heap) > 0 {
+		it := d.pop()
+		if it.d > d.dist[int(it.id)] {
+			continue // stale entry; the vertex settled at a smaller distance
+		}
+		base = it.d
+		edges(int(it.id), relax)
+	}
+}
+
+// Dist returns the distance to v from the last Run. ok is false when v was
+// not reached.
+func (d *SparseDijkstra) Dist(v int) (float64, bool) {
+	dist, ok := d.dist[v]
+	return dist, ok
+}
+
+// ForEachReached visits every vertex reached by the last Run, in map order
+// — callers feeding simulation state must store into an order-insensitive
+// structure (a map) rather than reduce over the iteration.
+func (d *SparseDijkstra) ForEachReached(f func(v int, dist float64)) {
+	for v, dist := range d.dist {
+		f(v, dist)
+	}
+}
+
+// push inserts an item, maintaining the (distance, id) min-heap order.
+func (d *SparseDijkstra) push(it dijItem) {
+	d.heap = append(d.heap, it)
+	i := len(d.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !dijLess(d.heap[i], d.heap[p]) {
+			break
+		}
+		d.heap[i], d.heap[p] = d.heap[p], d.heap[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum item.
+func (d *SparseDijkstra) pop() dijItem {
+	top := d.heap[0]
+	n := len(d.heap) - 1
+	d.heap[0] = d.heap[n]
+	d.heap = d.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && dijLess(d.heap[l], d.heap[small]) {
+			small = l
+		}
+		if r < n && dijLess(d.heap[r], d.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		d.heap[i], d.heap[small] = d.heap[small], d.heap[i]
+		i = small
+	}
+	return top
+}
+
+func dijLess(a, b dijItem) bool {
+	return a.d < b.d || (a.d == b.d && a.id < b.id)
+}
+
+// SparseMEMD computes minimum expected meeting delays (Theorem 3) over the
+// recorded-edge graph of a sparse store: the holder's row comes from its
+// Theorem-2 elapsed-conditioned EMDs, every other row from the gossiped MI
+// averages, exactly as in the dense MEMD — but the Dijkstra touches only
+// recorded edges, so a contact costs O(E log V) over the observed contact
+// graph instead of O(n²) over the population.
+type SparseMEMD struct {
+	dij   *SparseDijkstra
+	valid bool
+}
+
+// NewSparseMEMD returns a calculator with empty scratch. Unlike the dense
+// MEMD it is not sized to a network: one instance serves any store.
+func NewSparseMEMD() *SparseMEMD {
+	return &SparseMEMD{dij: NewSparseDijkstra()}
+}
+
+// Compute runs the Theorem-3 Dijkstra from self at time t. Subsequent
+// Delay calls answer from the result.
+func (m *SparseMEMD) Compute(self int, t float64, h *History, mi MeetingStore) {
+	m.dij.Run(self, func(u int, relax func(v int, w float64)) {
+		if u == self {
+			// Own row: elapsed-time-conditioned EMDs (Theorem 2), scoped to
+			// the store's coverage like a dense row over scoped ids.
+			h.forEachMet(func(peer int) {
+				if !mi.Covers(peer) {
+					return
+				}
+				if d, ok := h.EMD(peer, t); ok {
+					relax(peer, d)
+				}
+			})
+			return
+		}
+		mi.ForEachKnown(u, relax)
+	})
+	m.valid = true
+}
+
+// ComputeStoreOnly builds every row, including the holder's, from the
+// store's published mean intervals — the MEED-style A2 ablation, which the
+// dense path implements by filling the whole MD matrix from MI.
+func (m *SparseMEMD) ComputeStoreOnly(self int, mi MeetingStore) {
+	m.dij.Run(self, func(u int, relax func(v int, w float64)) {
+		mi.ForEachKnown(u, relax)
+	})
+	m.valid = true
+}
+
+// Delay returns the minimum expected meeting delay from the node of the
+// last Compute to dst: +Inf for unreached destinations, 0 for the holder
+// itself. It panics if Compute was never called.
+func (m *SparseMEMD) Delay(dst int) float64 {
+	if !m.valid {
+		panic("core: SparseMEMD.Delay before Compute")
+	}
+	if d, ok := m.dij.Dist(dst); ok {
+		return d
+	}
+	return math.Inf(1)
+}
+
+// ForEachReached visits every destination with a finite delay, in map
+// order; see SparseDijkstra.ForEachReached for the determinism caveat.
+func (m *SparseMEMD) ForEachReached(f func(dst int, delay float64)) {
+	if !m.valid {
+		panic("core: SparseMEMD.ForEachReached before Compute")
+	}
+	m.dij.ForEachReached(f)
+}

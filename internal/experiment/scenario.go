@@ -60,6 +60,16 @@ type Scenario struct {
 	// seconds (0 = the paper's strict comparison; ablation A3).
 	ForwardHysteresis float64
 
+	// SparseEstimators forces the sparse estimator core for EER, CR and
+	// MaxProp: per-observed-peer history, MI and probability rows plus
+	// heap-based MEMD/cost Dijkstras over recorded edges, instead of the
+	// dense O(n)–O(n²) per-node arrays. Summaries are bit-identical to the
+	// dense core (pinned by TestSparseEstimatorParity); only memory and
+	// per-contact complexity change. Regardless of this flag, scenarios
+	// with Nodes >= SparseNodeThreshold select the sparse core
+	// automatically — at city scale the dense state cannot be allocated.
+	SparseEstimators bool
+
 	// Simulation parameters.
 	Duration float64
 	Tick     float64
@@ -136,10 +146,12 @@ func Quick() Scenario {
 func CityScale() Scenario {
 	s := Default()
 	s.Nodes = 10000
-	// Quota-based spray keeps per-contact router work O(1); the paper's
-	// expectation-based protocols carry O(n)–O(n²) estimator state per
-	// node, which at 10⁴ nodes would swamp the engine this preset is
-	// meant to measure (and EER's per-contact MEMD is a dense Dijkstra).
+	// The default protocol stays SprayAndWait — O(1) per-contact router
+	// work keeps this preset an engine benchmark — but the fleet size is
+	// over SparseNodeThreshold, so setting Protocol to EER, CR or MaxProp
+	// runs the sparse estimator core: per-node state proportional to
+	// observed peers and recorded-edge MEMD/cost Dijkstras
+	// (BenchmarkCityScaleSparse measures those variants).
 	s.Protocol = SprayAndWait
 	s.Mobility = "city"
 	s.Map.Width = 12000
@@ -195,46 +207,75 @@ func (s Scenario) Build() (*network.World, *sim.Runner) {
 	return w, runner
 }
 
+// SparseNodeThreshold is the fleet size at and above which scenarios
+// select the sparse estimator core regardless of SparseEstimators: the
+// paper's figure-scale runs (≤ a few hundred nodes) keep the dense
+// matrices, anything city-sized cannot afford them. Summaries do not
+// depend on the storage mode, so the cutover is a pure resource choice.
+const SparseNodeThreshold = 1000
+
+// sparseEstimators reports the effective storage-mode selection.
+func (s Scenario) sparseEstimators() bool {
+	return s.SparseEstimators || s.Nodes >= SparseNodeThreshold
+}
+
+// routerFactories is the protocol registry: each entry builds the shared
+// per-world router factory for one protocol. Registered constructors
+// return the world-level factory directly — routing factories already
+// produce network.Router, so no adapter closures are needed.
+var routerFactories = map[Protocol]func(s Scenario, reg *community.Registry) func() network.Router{
+	EER: func(s Scenario, _ *community.Registry) func() network.Router {
+		return routing.EERFactory(s.eerConfig(), s.Nodes)
+	},
+	EERFixedEV: func(s Scenario, _ *community.Registry) func() network.Router {
+		cfg := s.eerConfig()
+		cfg.FixedHorizon = s.TTL
+		return routing.EERFactory(cfg, s.Nodes)
+	},
+	EERMeanMD: func(s Scenario, _ *community.Registry) func() network.Router {
+		cfg := s.eerConfig()
+		cfg.MeanIntervalMD = true
+		return routing.EERFactory(cfg, s.Nodes)
+	},
+	CR: func(s Scenario, reg *community.Registry) func() network.Router {
+		cfg := routing.CRConfig{Lambda: s.Lambda, Alpha: s.Alpha, Window: s.Window,
+			SparseEstimators: s.sparseEstimators()}
+		return routing.CRFactory(cfg, reg)
+	},
+	MaxProp: func(s Scenario, _ *community.Registry) func() network.Router {
+		return routing.MaxPropFactory(s.Nodes, s.sparseEstimators())
+	},
+	EBR: func(s Scenario, _ *community.Registry) func() network.Router {
+		return func() network.Router { return routing.NewEBR(s.Lambda) }
+	},
+	SprayAndWait: func(s Scenario, _ *community.Registry) func() network.Router {
+		return func() network.Router { return routing.NewSprayAndWait(s.Lambda) }
+	},
+	SprayAndFocus: func(s Scenario, _ *community.Registry) func() network.Router {
+		return func() network.Router { return routing.NewSprayAndFocus(s.Lambda) }
+	},
+	Epidemic: func(Scenario, *community.Registry) func() network.Router {
+		return func() network.Router { return routing.NewEpidemic() }
+	},
+	Prophet: func(Scenario, *community.Registry) func() network.Router {
+		return func() network.Router { return routing.NewProphet() }
+	},
+	Direct: func(Scenario, *community.Registry) func() network.Router {
+		return func() network.Router { return routing.NewDirect() }
+	},
+	FirstContact: func(Scenario, *community.Registry) func() network.Router {
+		return func() network.Router { return routing.NewFirstContact() }
+	},
+}
+
 // routerFactory returns a fresh-router constructor for the scenario's
 // protocol.
 func (s Scenario) routerFactory(reg *community.Registry) func() network.Router {
-	switch s.Protocol {
-	case EER:
-		f := routing.EERFactory(s.eerConfig(), s.Nodes)
-		return func() network.Router { return f() }
-	case EERFixedEV:
-		cfg := s.eerConfig()
-		cfg.FixedHorizon = s.TTL
-		f := routing.EERFactory(cfg, s.Nodes)
-		return func() network.Router { return f() }
-	case EERMeanMD:
-		cfg := s.eerConfig()
-		cfg.MeanIntervalMD = true
-		f := routing.EERFactory(cfg, s.Nodes)
-		return func() network.Router { return f() }
-	case CR:
-		f := routing.CRFactory(routing.CRConfig{Lambda: s.Lambda, Alpha: s.Alpha, Window: s.Window}, reg)
-		return func() network.Router { return f() }
-	case EBR:
-		return func() network.Router { return routing.NewEBR(s.Lambda) }
-	case MaxProp:
-		f := routing.MaxPropFactory(s.Nodes)
-		return func() network.Router { return f() }
-	case SprayAndWait:
-		return func() network.Router { return routing.NewSprayAndWait(s.Lambda) }
-	case SprayAndFocus:
-		return func() network.Router { return routing.NewSprayAndFocus(s.Lambda) }
-	case Epidemic:
-		return func() network.Router { return routing.NewEpidemic() }
-	case Prophet:
-		return func() network.Router { return routing.NewProphet() }
-	case Direct:
-		return func() network.Router { return routing.NewDirect() }
-	case FirstContact:
-		return func() network.Router { return routing.NewFirstContact() }
-	default:
+	mk, ok := routerFactories[s.Protocol]
+	if !ok {
 		panic("experiment: unknown protocol " + string(s.Protocol))
 	}
+	return mk(s, reg)
 }
 
 // BuildBare constructs the scenario's world and mobility with
@@ -314,6 +355,7 @@ func (s Scenario) eerConfig() routing.EERConfig {
 		Alpha:             s.Alpha,
 		Window:            s.Window,
 		ForwardHysteresis: s.ForwardHysteresis,
+		SparseEstimators:  s.sparseEstimators(),
 	}
 }
 

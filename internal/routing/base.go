@@ -25,6 +25,12 @@ type Base struct {
 	// receivedFrom maps message id -> peer id the copy arrived from, kept
 	// while the contact with that peer persists.
 	receivedFrom map[int]int
+
+	// cands is the scratch slice Candidates reuses across calls: transfer
+	// re-asks run once per in-range pair per tick, so a per-call allocation
+	// here is constant hot-path churn. The returned slice is only valid
+	// until the next Candidates call on the same router.
+	cands []*msg.Copy
 }
 
 // Init implements network.Router.
@@ -106,14 +112,17 @@ func (b *Base) DeliverDirect(t float64, peer *network.Node) *network.Plan {
 
 // Candidates returns the buffered copies sendable to peer, in buffer
 // (insertion) order, excluding those destined to peer (DeliverDirect
-// handles them first).
+// handles them first). The result shares the router's scratch storage and
+// is valid only until the next Candidates call; callers may reorder it in
+// place (MaxProp sorts it) but must not retain it across contacts.
 func (b *Base) Candidates(t float64, peer *network.Node) []*msg.Copy {
-	var out []*msg.Copy
+	out := b.cands[:0]
 	for _, c := range b.Self.Buf.All() {
 		if c.M.To != peer.ID && b.Sendable(t, c, peer) {
 			out = append(out, c)
 		}
 	}
+	b.cands = out
 	return out
 }
 

@@ -17,6 +17,10 @@ type CRConfig struct {
 	Alpha float64
 	// Window is the sliding-window capacity per peer.
 	Window int
+	// SparseEstimators selects the sparse estimator core (observed-peer
+	// history and intra-community MI, heap MEMD'), with bit-identical
+	// decisions; mandatory at city scale.
+	SparseEstimators bool
 }
 
 // DefaultCRConfig returns the paper's parameters with quota lambda.
@@ -25,10 +29,12 @@ func DefaultCRConfig(lambda int) CRConfig {
 }
 
 // crShared is per-world state shared by all CR routers: the community
-// registry and one MEMD scratch per community size.
+// registry and one MEMD scratch per community size (dense mode) or one
+// size-independent sparse calculator.
 type crShared struct {
-	reg  *community.Registry
-	memd map[int]*core.MEMD // keyed by community size
+	reg   *community.Registry
+	memd  map[int]*core.MEMD // keyed by community size; dense mode only
+	smemd *core.SparseMEMD   // sparse mode only
 }
 
 func (s *crShared) memdFor(size int) *core.MEMD {
@@ -53,7 +59,7 @@ type CR struct {
 	shared *crShared
 
 	hist    *core.History
-	intraMI *core.MeetingMatrix // covers only the node's community
+	intraMI core.MeetingStore // covers only the node's community
 	ownComm int
 
 	contacts map[int]*crContact
@@ -86,9 +92,14 @@ func NewCR(cfg CRConfig, shared *crShared) *CR {
 
 // CRFactory returns a constructor producing CR routers over the given
 // community registry.
-func CRFactory(cfg CRConfig, reg *community.Registry) func() *CR {
-	shared := &crShared{reg: reg, memd: make(map[int]*core.MEMD)}
-	return func() *CR { return NewCR(cfg, shared) }
+func CRFactory(cfg CRConfig, reg *community.Registry) func() network.Router {
+	shared := &crShared{reg: reg}
+	if cfg.SparseEstimators {
+		shared.smemd = core.NewSparseMEMD()
+	} else {
+		shared.memd = make(map[int]*core.MEMD)
+	}
+	return func() network.Router { return NewCR(cfg, shared) }
 }
 
 // Config returns the router's configuration.
@@ -100,8 +111,8 @@ func (r *CR) Registry() *community.Registry { return r.shared.reg }
 // History exposes the contact history (tests, trace tools).
 func (r *CR) History() *core.History { return r.hist }
 
-// IntraMI exposes the intra-community meeting-interval matrix.
-func (r *CR) IntraMI() *core.MeetingMatrix { return r.intraMI }
+// IntraMI exposes the intra-community meeting-interval store.
+func (r *CR) IntraMI() core.MeetingStore { return r.intraMI }
 
 // InitialReplicas implements network.Router.
 func (r *CR) InitialReplicas(*msg.Message) int { return r.cfg.Lambda }
@@ -109,9 +120,14 @@ func (r *CR) InitialReplicas(*msg.Message) int { return r.cfg.Lambda }
 // Init implements network.Router.
 func (r *CR) Init(self *network.Node, w *network.World) {
 	r.Base.Init(self, w)
-	r.hist = core.NewHistory(self.ID, w.N(), r.cfg.Window)
 	r.ownComm = r.shared.reg.Of(self.ID)
-	r.intraMI = core.NewMeetingMatrix(r.shared.reg.Members(r.ownComm))
+	if r.cfg.SparseEstimators {
+		r.hist = core.NewSparseHistory(self.ID, w.N(), r.cfg.Window)
+		r.intraMI = core.NewScopedSparseMeetingStore(r.shared.reg.Members(r.ownComm))
+	} else {
+		r.hist = core.NewHistory(self.ID, w.N(), r.cfg.Window)
+		r.intraMI = core.NewMeetingMatrix(r.shared.reg.Members(r.ownComm))
+	}
 	r.contacts = make(map[int]*crContact)
 }
 
@@ -122,7 +138,7 @@ func (r *CR) ContactUp(t float64, peer *network.Node) {
 	r.hist.RecordContact(peer.ID, t)
 	if pr, ok := peer.Router.(*CR); ok && pr.ownComm == r.ownComm {
 		r.intraMI.UpdateOwnRow(r.Self.ID, t, r.hist)
-		core.SyncPair(r.intraMI, pr.intraMI)
+		core.Sync(r.intraMI, pr.intraMI)
 	}
 	r.contacts[peer.ID] = &crContact{t0: t, decided: make(map[int]crDecision)}
 }
@@ -141,15 +157,25 @@ func (r *CR) snapshot(st *crContact) *core.EEVSnapshot {
 }
 
 // intraMEMD returns the intra-community MEMD' to dst at the contact's
-// meeting time.
+// meeting time. Both storage modes cache per-contact delay maps keyed by
+// destination id; unreached or uncovered destinations read +Inf either
+// way (the dense map stores +Inf explicitly, the sparse map omits them).
 func (r *CR) intraMEMD(st *crContact, dst int) float64 {
 	if st.memd == nil {
-		calc := r.shared.memdFor(r.intraMI.Size())
-		calc.Compute(r.Self.ID, st.t0, r.hist, r.intraMI)
-		st.memd = make(map[int]float64, r.intraMI.Size())
-		dists := calc.Distances()
-		for i, id := range r.intraMI.IDs() {
-			st.memd[id] = dists[i]
+		if r.cfg.SparseEstimators {
+			calc := r.shared.smemd
+			calc.Compute(r.Self.ID, st.t0, r.hist, r.intraMI)
+			st.memd = make(map[int]float64)
+			calc.ForEachReached(func(id int, d float64) { st.memd[id] = d })
+		} else {
+			mi := r.intraMI.(*core.MeetingMatrix)
+			calc := r.shared.memdFor(mi.Size())
+			calc.Compute(r.Self.ID, st.t0, r.hist, mi)
+			st.memd = make(map[int]float64, mi.Size())
+			dists := calc.Distances()
+			for i, id := range mi.IDs() {
+				st.memd[id] = dists[i]
+			}
 		}
 	}
 	d, ok := st.memd[dst]

@@ -32,6 +32,12 @@ type EERConfig struct {
 	// paper's Algorithm 1 uses a strict comparison (0); the A3 ablation
 	// uses positive values to quantify estimator-noise ping-pong.
 	ForwardHysteresis float64
+
+	// SparseEstimators selects the sparse estimator core: per-observed-peer
+	// history and MI storage plus the heap MEMD, with bit-identical
+	// decisions (see core.MeetingStore). Mandatory at city scale, where the
+	// dense n×n state cannot be allocated per node.
+	SparseEstimators bool
 }
 
 // DefaultEERConfig returns the paper's parameters with quota lambda.
@@ -40,15 +46,26 @@ func DefaultEERConfig(lambda int) EERConfig {
 }
 
 // eerShared is per-world state shared by all EER routers: the MEMD scratch
-// matrix (the MD of Theorem 3 is transient, so one O(n²) buffer serves
-// every node on the single simulation goroutine), plus freelists of
+// (the MD of Theorem 3 is transient, so one buffer serves every node on
+// the single simulation goroutine — an O(n²) dense matrix at figure scale,
+// a bounded-heap sparse calculator at city scale), plus freelists of
 // per-contact state. Contacts are constant churn — every one allocated a
 // snapshot, a decision map and a MEMD vector — so recycling them removes
 // the router layer's steady-state allocations entirely.
 type eerShared struct {
-	memd     *core.MEMD
+	memd  *core.MEMD       // dense scratch; nil in sparse mode
+	smemd *core.SparseMEMD // sparse scratch; nil in dense mode
+
 	snapPool []*core.EEVSnapshot
 	ctPool   []*eerContact
+}
+
+// newEERShared sizes the scratch for the configured storage mode.
+func newEERShared(cfg EERConfig, n int) *eerShared {
+	if cfg.SparseEstimators {
+		return &eerShared{smemd: core.NewSparseMEMD()}
+	}
+	return &eerShared{memd: core.NewMEMD(n)}
 }
 
 func (sh *eerShared) getSnapshot() *core.EEVSnapshot {
@@ -66,6 +83,8 @@ func (sh *eerShared) getContact(t0 float64) *eerContact {
 		sh.ctPool = sh.ctPool[:n-1]
 		st.t0 = t0
 		st.memd = nil
+		st.memdDone = false
+		clear(st.memdMap)
 		clear(st.decided)
 		return st
 	}
@@ -96,7 +115,7 @@ type EER struct {
 	shared *eerShared
 
 	hist *core.History
-	mi   *core.MeetingMatrix
+	mi   core.MeetingStore
 
 	contacts map[int]*eerContact
 }
@@ -106,10 +125,14 @@ type EER struct {
 type eerContact struct {
 	t0      float64
 	snap    *core.EEVSnapshot
-	memd    []float64 // MEMD from self to every node, by id; nil until built
+	memd    []float64 // dense mode: MEMD to every node, by id; nil until built
 	memdBuf []float64 // retained backing array for memd across recycling
-	decided map[int]eerDecision
-	pooled  bool // came from the shared freelist; recycled on contact down
+	// Sparse mode: delays for reached destinations only (absent = +Inf);
+	// the map is retained and cleared across recycling.
+	memdMap  map[int]float64
+	memdDone bool
+	decided  map[int]eerDecision
+	pooled   bool // came from the shared freelist; recycled on contact down
 }
 
 // eerDecision is the meeting-time decision for one message.
@@ -128,10 +151,11 @@ func NewEER(cfg EERConfig, shared *eerShared) *EER {
 }
 
 // EERFactory returns a constructor producing EER routers that share one
-// MEMD scratch sized for n nodes.
-func EERFactory(cfg EERConfig, n int) func() *EER {
-	shared := &eerShared{memd: core.NewMEMD(n)}
-	return func() *EER { return NewEER(cfg, shared) }
+// MEMD scratch sized for n nodes (or one sparse calculator when
+// cfg.SparseEstimators is set).
+func EERFactory(cfg EERConfig, n int) func() network.Router {
+	shared := newEERShared(cfg, n)
+	return func() network.Router { return NewEER(cfg, shared) }
 }
 
 // Config returns the router's configuration.
@@ -140,8 +164,8 @@ func (r *EER) Config() EERConfig { return r.cfg }
 // History exposes the contact history (tests, trace tools).
 func (r *EER) History() *core.History { return r.hist }
 
-// MI exposes the meeting-interval matrix (tests, trace tools).
-func (r *EER) MI() *core.MeetingMatrix { return r.mi }
+// MI exposes the meeting-interval store (tests, trace tools).
+func (r *EER) MI() core.MeetingStore { return r.mi }
 
 // InitialReplicas implements network.Router.
 func (r *EER) InitialReplicas(*msg.Message) int { return r.cfg.Lambda }
@@ -150,11 +174,16 @@ func (r *EER) InitialReplicas(*msg.Message) int { return r.cfg.Lambda }
 func (r *EER) Init(self *network.Node, w *network.World) {
 	r.Base.Init(self, w)
 	n := w.N()
-	r.hist = core.NewHistory(self.ID, n, r.cfg.Window)
-	r.mi = core.NewFullMeetingMatrix(n)
+	if r.cfg.SparseEstimators {
+		r.hist = core.NewSparseHistory(self.ID, n, r.cfg.Window)
+		r.mi = core.NewSparseMeetingStore(n)
+	} else {
+		r.hist = core.NewHistory(self.ID, n, r.cfg.Window)
+		r.mi = core.NewFullMeetingMatrix(n)
+	}
 	r.contacts = make(map[int]*eerContact)
 	if r.shared == nil {
-		r.shared = &eerShared{memd: core.NewMEMD(n)}
+		r.shared = newEERShared(r.cfg, n)
 	}
 }
 
@@ -164,7 +193,7 @@ func (r *EER) ContactUp(t float64, peer *network.Node) {
 	r.hist.RecordContact(peer.ID, t)
 	r.mi.UpdateOwnRow(r.Self.ID, t, r.hist)
 	if pr, ok := peer.Router.(*EER); ok {
-		core.SyncPair(r.mi, pr.mi)
+		core.Sync(r.mi, pr.mi)
 	}
 	r.contacts[peer.ID] = r.shared.getContact(t)
 }
@@ -193,16 +222,42 @@ func (r *EER) snapshot(st *eerContact) *core.EEVSnapshot {
 // memdTo lazily computes the MEMD vector for a contact and returns the
 // delay to dst.
 func (r *EER) memdTo(st *eerContact, dst int) float64 {
+	if r.cfg.SparseEstimators {
+		return r.sparseMEMDTo(st, dst)
+	}
 	if st.memd == nil {
 		if r.cfg.MeanIntervalMD {
 			r.computeMeanIntervalMD(st)
 		} else {
-			r.shared.memd.Compute(r.Self.ID, st.t0, r.hist, r.mi)
+			r.shared.memd.Compute(r.Self.ID, st.t0, r.hist, r.mi.(*core.MeetingMatrix))
 			st.memd = append(st.memdBuf[:0], r.shared.memd.Distances()...)
 			st.memdBuf = st.memd
 		}
 	}
 	return st.memd[dst]
+}
+
+// sparseMEMDTo is memdTo over the sparse core: the heap Dijkstra touches
+// only recorded edges, and the contact caches delays for the reached
+// destinations (absent = +Inf, exactly the dense convention).
+func (r *EER) sparseMEMDTo(st *eerContact, dst int) float64 {
+	if !st.memdDone {
+		calc := r.shared.smemd
+		if r.cfg.MeanIntervalMD {
+			calc.ComputeStoreOnly(r.Self.ID, r.mi)
+		} else {
+			calc.Compute(r.Self.ID, st.t0, r.hist, r.mi)
+		}
+		if st.memdMap == nil {
+			st.memdMap = make(map[int]float64)
+		}
+		calc.ForEachReached(func(id int, d float64) { st.memdMap[id] = d })
+		st.memdDone = true
+	}
+	if d, ok := st.memdMap[dst]; ok {
+		return d
+	}
+	return math.Inf(1)
 }
 
 // computeMeanIntervalMD is the A2 ablation: the own row uses plain mean

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/msg"
 	"repro/internal/network"
@@ -18,17 +19,32 @@ import (
 // drop order. Simplification (documented in DESIGN.md): the hop-count
 // priority threshold is a fixed configurable value instead of MaxProp's
 // adaptive byte-based estimate.
+//
+// Probability storage is polymorphic like the estimator core's
+// MeetingStore: dense n×n rows at figure scale, sparse observed-peer rows
+// (core.SparseRows) at city scale, with bit-identical routing decisions —
+// normalisation sums and divisions visit entries in ascending id order in
+// both modes, and the path costs come from Dijkstras whose distances are
+// storage-independent.
 type MaxProp struct {
 	Base
 	// HopThreshold gives messages with fewer hops transmission priority
 	// (default 7).
 	HopThreshold int
+	// Sparse selects observed-peer row storage and the heap-based cost
+	// Dijkstra; set it before Init (MaxPropFactory does).
+	Sparse bool
 
+	// Dense storage (nil in sparse mode).
 	probs   [][]float64 // probs[u][v]: u's meeting probability for v
 	updated []float64   // freshness per row; -1 = never
+	cost    []float64   // cached path cost to every node
 	scratch *maxPropShared
 
-	cost      []float64 // cached path cost to every node
+	// Sparse storage (nil in dense mode).
+	rows *core.SparseRows
+	dij  *core.SparseDijkstra // per-router: its dist map doubles as the cost cache
+
 	costValid bool
 }
 
@@ -37,46 +53,59 @@ type maxPropShared struct {
 	dist []float64
 }
 
-// NewMaxProp returns a MaxProp router; use MaxPropFactory so routers share
-// scratch.
+// NewMaxProp returns a MaxProp router; use MaxPropFactory so dense routers
+// share scratch.
 func NewMaxProp() *MaxProp { return &MaxProp{HopThreshold: 7} }
 
-// MaxPropFactory returns a constructor producing MaxProp routers sharing
-// one Dijkstra scratch for n nodes.
-func MaxPropFactory(n int) func() *MaxProp {
-	shared := &maxPropShared{dist: make([]float64, n)}
-	shared.w = make([][]float64, n)
-	flat := make([]float64, n*n)
-	for i := range shared.w {
-		shared.w[i], flat = flat[:n], flat[n:]
+// MaxPropFactory returns a constructor producing MaxProp routers for n
+// nodes: dense routers sharing one Dijkstra scratch, or self-contained
+// sparse routers whose state grows with observed peers only.
+func MaxPropFactory(n int, sparse bool) func() network.Router {
+	if sparse {
+		return func() network.Router {
+			r := NewMaxProp()
+			r.Sparse = true
+			return r
+		}
 	}
-	return func() *MaxProp {
+	shared := newMaxPropShared(n)
+	return func() network.Router {
 		r := NewMaxProp()
 		r.scratch = shared
 		return r
 	}
 }
 
+func newMaxPropShared(n int) *maxPropShared {
+	shared := &maxPropShared{dist: make([]float64, n)}
+	shared.w = make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range shared.w {
+		shared.w[i], flat = flat[:n], flat[n:]
+	}
+	return shared
+}
+
 // Init implements network.Router.
 func (r *MaxProp) Init(self *network.Node, w *network.World) {
 	r.Base.Init(self, w)
 	n := w.N()
-	r.probs = make([][]float64, n)
-	flat := make([]float64, n*n)
-	for i := range r.probs {
-		r.probs[i], flat = flat[:n], flat[n:]
-	}
-	r.updated = make([]float64, n)
-	for i := range r.updated {
-		r.updated[i] = -1
-	}
-	r.cost = make([]float64, n)
-	if r.scratch == nil {
-		r.scratch = &maxPropShared{dist: make([]float64, n)}
-		r.scratch.w = make([][]float64, n)
-		f2 := make([]float64, n*n)
-		for i := range r.scratch.w {
-			r.scratch.w[i], f2 = f2[:n], f2[n:]
+	if r.Sparse {
+		r.rows = core.NewSparseRows()
+		r.dij = core.NewSparseDijkstra()
+	} else {
+		r.probs = make([][]float64, n)
+		flat := make([]float64, n*n)
+		for i := range r.probs {
+			r.probs[i], flat = flat[:n], flat[n:]
+		}
+		r.updated = make([]float64, n)
+		for i := range r.updated {
+			r.updated[i] = -1
+		}
+		r.cost = make([]float64, n)
+		if r.scratch == nil {
+			r.scratch = newMaxPropShared(n)
 		}
 	}
 	// MaxProp's drop order: prefer evicting high-cost (unlikely to be
@@ -86,8 +115,10 @@ func (r *MaxProp) Init(self *network.Node, w *network.World) {
 		best, bestScore := 0, math.Inf(-1)
 		for i, c := range copies {
 			score := float64(c.Hops)
-			if r.costValid && !math.IsInf(r.cost[c.M.To], 1) {
-				score = 1e6 * r.cost[c.M.To]
+			if r.costValid {
+				if pc := r.pathCost(c.M.To); !math.IsInf(pc, 1) {
+					score = 1e6 * pc
+				}
 			}
 			if score > bestScore {
 				best, bestScore = i, score
@@ -98,11 +129,37 @@ func (r *MaxProp) Init(self *network.Node, w *network.World) {
 }
 
 // Prob returns this node's current meeting probability for peer v.
-func (r *MaxProp) Prob(v int) float64 { return r.probs[r.Self.ID][v] }
+func (r *MaxProp) Prob(v int) float64 {
+	if r.Sparse {
+		if row := r.rows.Row(r.Self.ID); row != nil {
+			if p, ok := row.Get(v); ok {
+				return p
+			}
+		}
+		return 0
+	}
+	return r.probs[r.Self.ID][v]
+}
 
 // ContactUp implements network.Router: incremental-average own vector,
 // exchange vectors by freshness, merge delivery acks, purge dead copies.
 func (r *MaxProp) ContactUp(t float64, peer *network.Node) {
+	pr, _ := peer.Router.(*MaxProp)
+	if r.Sparse {
+		r.contactUpSparse(t, peer, pr)
+	} else {
+		r.contactUpDense(t, peer, pr)
+	}
+	if pr == nil {
+		return
+	}
+	// Ack merge: each side learns the other's delivered set.
+	r.Self.SyncKnownDelivered(peer)
+	r.PurgeKnownDelivered()
+	pr.PurgeKnownDelivered()
+}
+
+func (r *MaxProp) contactUpDense(t float64, peer *network.Node, pr *MaxProp) {
 	self := r.Self.ID
 	own := r.probs[self]
 	own[peer.ID]++
@@ -115,8 +172,7 @@ func (r *MaxProp) ContactUp(t float64, peer *network.Node) {
 	}
 	r.updated[self] = t
 	r.costValid = false
-	pr, ok := peer.Router.(*MaxProp)
-	if !ok {
+	if pr == nil {
 		return
 	}
 	// Vector exchange with per-row freshness, both directions.
@@ -130,14 +186,51 @@ func (r *MaxProp) ContactUp(t float64, peer *network.Node) {
 			pr.costValid = false
 		}
 	}
-	// Ack merge: each side learns the other's delivered set.
-	r.Self.SyncKnownDelivered(peer)
-	r.PurgeKnownDelivered()
-	pr.PurgeKnownDelivered()
+}
+
+// contactUpSparse mirrors contactUpDense over sparse rows. The own-row
+// update is bit-identical: the normalisation sum and the divisions visit
+// stored entries ascending, and the dense scan's untouched zero entries
+// are exact no-ops in both the sum and the division.
+func (r *MaxProp) contactUpSparse(t float64, peer *network.Node, pr *MaxProp) {
+	own := r.rows.Ensure(r.Self.ID)
+	p, _ := own.Get(peer.ID)
+	own.Set(peer.ID, p+1)
+	own.Div(own.Sum())
+	own.Updated = t
+	r.costValid = false
+	if pr == nil {
+		return
+	}
+	// Row exchange with per-row freshness, both directions.
+	r.rows.MergeFresher(pr.rows)
+	if pr.rows.MergeFresher(r.rows) > 0 {
+		pr.costValid = false
+	}
 }
 
 // refreshCost recomputes the Σ(1−p) Dijkstra costs from this node.
 func (r *MaxProp) refreshCost() {
+	if r.Sparse {
+		r.dij.Run(r.Self.ID, func(u int, relax func(v int, w float64)) {
+			row := r.rows.Row(u)
+			if row == nil || row.Updated < 0 {
+				return
+			}
+			row.ForEach(func(v int, p float64) {
+				if p <= 0 {
+					return
+				}
+				c := 1 - p
+				if c < 1e-9 {
+					c = 1e-9
+				}
+				relax(v, c)
+			})
+		})
+		r.costValid = true
+		return
+	}
 	n := len(r.probs)
 	w := r.scratch.w
 	for u := 0; u < n; u++ {
@@ -164,12 +257,24 @@ func (r *MaxProp) refreshCost() {
 	r.costValid = true
 }
 
+// pathCost returns the cached cost to dst; +Inf when unreached. Callers
+// must have refreshed the cache (costValid).
+func (r *MaxProp) pathCost(dst int) float64 {
+	if r.Sparse {
+		if d, ok := r.dij.Dist(dst); ok {
+			return d
+		}
+		return math.Inf(1)
+	}
+	return r.cost[dst]
+}
+
 // Cost returns the current path cost estimate to dst.
 func (r *MaxProp) Cost(dst int) float64 {
 	if !r.costValid {
 		r.refreshCost()
 	}
-	return r.cost[dst]
+	return r.pathCost(dst)
 }
 
 // NextTransfer implements network.Router with MaxProp's transmission
@@ -197,7 +302,7 @@ func (r *MaxProp) NextTransfer(t float64, peer *network.Node) *network.Plan {
 			}
 			return a.M.ID < b.M.ID
 		}
-		ca, cb := r.cost[a.M.To], r.cost[b.M.To]
+		ca, cb := r.pathCost(a.M.To), r.pathCost(b.M.To)
 		if ca != cb {
 			return ca < cb
 		}
