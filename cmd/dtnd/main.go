@@ -1,0 +1,56 @@
+// Command dtnd is the DTN simulation daemon: an HTTP/JSON service that
+// accepts declarative scenario specs, runs them on the shared experiment
+// pool, streams live progress as NDJSON and serves repeated submissions
+// from a content-addressed result cache.
+//
+// Quickstart (see README.md for the full walkthrough):
+//
+//	dtnd -addr :8080 -cache dtnd-cache &
+//	curl -s localhost:8080/v1/jobs -d '{"preset":"quick","protocol":"EER","seeds":[1,2]}'
+//	curl -sN localhost:8080/v1/jobs/j1/stream     # live NDJSON progress
+//	curl -s localhost:8080/v1/jobs/j1             # status + result
+//
+// SIGINT/SIGTERM drain gracefully: accepted jobs finish, new submissions
+// are refused, then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		cache = flag.String("cache", "dtnd-cache", "content-addressed result cache directory (empty disables)")
+		jobs  = flag.Int("jobs", 1, "jobs simulating concurrently (each job already fills all cores)")
+		queue = flag.Int("queue", 64, "max accepted-but-unfinished jobs")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// First signal: drain gracefully. Releasing the signal capture
+		// here restores default handling, so a second signal kills the
+		// process instead of being swallowed mid-drain.
+		<-ctx.Done()
+		stop()
+		fmt.Fprintln(os.Stderr, "dtnd: draining (signal again to force exit)")
+	}()
+
+	cfg := server.Config{CacheDir: *cache, MaxConcurrentJobs: *jobs, MaxQueuedJobs: *queue}
+	err := server.ListenAndServe(ctx, *addr, cfg, func(bound string) {
+		fmt.Printf("dtnd listening on %s (cache %q)\n", bound, *cache)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtnd:", err)
+		os.Exit(1)
+	}
+}

@@ -6,14 +6,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/server"
 )
 
 func main() {
@@ -34,8 +38,39 @@ func main() {
 		sparse   = flag.Bool("sparse", false, "force the sparse estimator core for EER/CR/MaxProp (auto at >= 1000 nodes; summaries identical)")
 		city     = flag.Bool("city", false, "start from the 10k-node CityScale preset instead of the paper defaults")
 		verbose  = flag.Bool("v", false, "print per-seed summaries")
+		serve    = flag.String("serve", "", "instead of running one scenario, serve the dtnd simulation API on this address (e.g. :8080)")
+		cacheDir = flag.String("cache", "dtnd-cache", "result cache directory for -serve (empty disables)")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		// Same daemon as cmd/dtnd: dtnsim -serve exists so a single
+		// installed binary covers both one-shot runs and the service.
+		// Scenario flags configure one-shot runs only — jobs arrive as
+		// specs — so flag them as ignored rather than silently dropping.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "serve", "cache":
+			default:
+				fmt.Fprintf(os.Stderr, "dtnsim -serve: ignoring -%s (scenarios are submitted as specs)\n", f.Name)
+			}
+		})
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		go func() {
+			<-ctx.Done()
+			stop() // second signal force-exits
+			fmt.Fprintln(os.Stderr, "dtnsim -serve: draining (signal again to force exit)")
+		}()
+		err := server.ListenAndServe(ctx, *serve, server.Config{CacheDir: *cacheDir}, func(bound string) {
+			fmt.Printf("dtnsim serving dtnd API on %s (cache %q)\n", bound, *cacheDir)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtnsim -serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	s := experiment.Default()
 	if *city {
@@ -91,6 +126,8 @@ func main() {
 	fmt.Printf("relays           %d\n", mean.Relays)
 	fmt.Printf("drops            %d  aborts %d  expiries %d\n", mean.Drops, mean.Aborts, mean.Expired)
 	fmt.Printf("contacts         %d\n", mean.Contacts)
+	fmt.Printf("gossip           %d rows / %d entries / %.1f KB\n",
+		mean.GossipRows, mean.GossipEntries, float64(mean.GossipBytes)/1024)
 	fmt.Printf("wall time        %s\n", elapsed.Round(time.Millisecond))
 	if mean.Generated == 0 {
 		fmt.Fprintln(os.Stderr, "warning: no messages generated")

@@ -97,6 +97,20 @@ var (
 	PaperMetrics        = experiment.PaperMetrics
 )
 
+// ScenarioSpec is the declarative JSON form of a simulation job: a preset
+// plus overrides, resolving to one Scenario and a seed list. It is the
+// payload the dtnd daemon accepts, and the preimage of its
+// content-addressed result cache.
+type ScenarioSpec = experiment.ScenarioSpec
+
+// ParseSpec decodes a JSON scenario spec strictly (unknown fields are
+// errors).
+func ParseSpec(data []byte) (ScenarioSpec, error) { return experiment.ParseSpec(data) }
+
+// RunSpec resolves and executes a spec over its seed list through the
+// bounded worker pool, returning per-seed summaries.
+func RunSpec(sp ScenarioSpec) ([]Summary, error) { return experiment.RunSpec(sp) }
+
 // DefaultScenario returns the paper's Section V-A configuration.
 func DefaultScenario() Scenario { return experiment.Default() }
 

@@ -65,12 +65,29 @@ func DropMostHops(_ float64, copies []*msg.Copy) int {
 
 // Buffer is a byte-bounded store of message copies with deterministic
 // insertion-ordered iteration.
+//
+// Expiry is tracked in a lazy-deletion min-heap ordered by (expiry time,
+// message id): every Add pushes an entry, removals leave their entries
+// behind, and DropExpired pops only entries whose time has come — checking
+// each against the live set. The periodic expiry sweep therefore costs
+// O(1) when nothing expired (the common case: the engine sweeps every
+// ExpirySweepEvery ticks, messages live for a 20-minute TTL) instead of a
+// full scan of every buffered copy, which profiles showed dominating the
+// sweep at scale. Stale entries are self-cleaning: each is popped and
+// discarded exactly once, when its expiry time passes.
 type Buffer struct {
 	capacity int
 	used     int
 	policy   DropPolicy
 	byID     map[int]int // message id -> index in list
 	list     []*msg.Copy
+	expiry   []expEntry // min-heap on (at, id); may hold stale ids
+}
+
+// expEntry is one pending expiry: message id at absolute time at.
+type expEntry struct {
+	at float64
+	id int
 }
 
 // New returns a buffer of the given byte capacity. capacity <= 0 means
@@ -147,6 +164,7 @@ func (b *Buffer) Add(t float64, c *msg.Copy) (dropped []*msg.Copy, ok bool) {
 	b.byID[c.M.ID] = len(b.list)
 	b.list = append(b.list, c)
 	b.used += c.M.Size
+	b.expiryPush(expEntry{at: c.M.Expire, id: c.M.ID})
 	return dropped, true
 }
 
@@ -171,15 +189,62 @@ func (b *Buffer) removeAt(i int) *msg.Copy {
 	return c
 }
 
-// DropExpired removes and returns every copy expired at time t.
+// DropExpired removes and returns every copy expired at time t, in
+// (expiry time, message id) order. A message re-added after removal keeps
+// its immutable expiry time, so duplicate heap entries are harmless: the
+// first matching pop removes the copy, later ones find the id gone.
 func (b *Buffer) DropExpired(t float64) []*msg.Copy {
 	var out []*msg.Copy
-	for i := 0; i < len(b.list); {
-		if b.list[i].M.Expired(t) {
+	for len(b.expiry) > 0 {
+		top := b.expiry[0]
+		if !(top.at < t) { // Expired(t) is t > Expire
+			break
+		}
+		b.expiryPop()
+		if i, ok := b.byID[top.id]; ok {
 			out = append(out, b.removeAt(i))
-		} else {
-			i++
 		}
 	}
 	return out
+}
+
+// expiryPush inserts e, maintaining (at, id) min-heap order.
+func (b *Buffer) expiryPush(e expEntry) {
+	b.expiry = append(b.expiry, e)
+	i := len(b.expiry) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !expLess(b.expiry[i], b.expiry[p]) {
+			break
+		}
+		b.expiry[i], b.expiry[p] = b.expiry[p], b.expiry[i]
+		i = p
+	}
+}
+
+// expiryPop removes the minimum entry.
+func (b *Buffer) expiryPop() {
+	n := len(b.expiry) - 1
+	b.expiry[0] = b.expiry[n]
+	b.expiry = b.expiry[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && expLess(b.expiry[l], b.expiry[small]) {
+			small = l
+		}
+		if r < n && expLess(b.expiry[r], b.expiry[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		b.expiry[i], b.expiry[small] = b.expiry[small], b.expiry[i]
+		i = small
+	}
+}
+
+func expLess(a, b expEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.id < b.id)
 }

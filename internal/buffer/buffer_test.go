@@ -186,3 +186,113 @@ func TestPropCapacityInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// naiveDropExpired is the pre-heap reference implementation: a full scan
+// of the copy list in insertion order. The heap-based DropExpired must
+// remove exactly the same set and leave the identical surviving sequence.
+func naiveDropExpired(b *Buffer, t float64) []*msg.Copy {
+	var out []*msg.Copy
+	for _, c := range append([]*msg.Copy(nil), b.All()...) {
+		if c.M.Expired(t) {
+			out = append(out, b.Remove(c.M.ID))
+		}
+	}
+	return out
+}
+
+// TestDropExpiredHeapParity drives a heap buffer and a naive-sweep buffer
+// through identical random Add/Remove/re-Add/DropExpired sequences and
+// demands the same expired sets and surviving buffer contents — the pin
+// for replacing the full-scan expiry sweep with the expiry-ordered heap.
+func TestDropExpiredHeapParity(t *testing.T) {
+	rng := xrand.New(99)
+	heapB := New(0, nil)
+	naiveB := New(0, nil)
+	mk := func(id int, created float64) (*msg.Copy, *msg.Copy) {
+		ttl := rng.Uniform(50, 500)
+		m1 := &msg.Message{ID: id, From: 0, To: 1, Size: 10, Created: created, Expire: created + ttl}
+		m2 := &msg.Message{ID: id, From: 0, To: 1, Size: 10, Created: created, Expire: created + ttl}
+		return msg.NewCopy(m1, 1), msg.NewCopy(m2, 1)
+	}
+	// removed remembers (id -> expire) so re-adds keep the immutable
+	// expiry, exercising duplicate heap entries.
+	removed := map[int]float64{}
+	now, nextID := 0.0, 0
+	live := []int{}
+	for step := 0; step < 3000; step++ {
+		now += rng.Uniform(0, 20)
+		switch op := rng.Intn(10); {
+		case op < 5: // add a fresh message
+			nextID++
+			c1, c2 := mk(nextID, now)
+			heapB.Add(now, c1)
+			naiveB.Add(now, c2)
+			live = append(live, nextID)
+		case op < 7 && len(live) > 0: // remove a random live copy
+			i := rng.Intn(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			hc := heapB.Remove(id)
+			nc := naiveB.Remove(id)
+			if (hc == nil) != (nc == nil) {
+				t.Fatalf("step %d: Remove(%d) presence mismatch", step, id)
+			}
+			if hc != nil {
+				removed[id] = hc.M.Expire
+			}
+		case op < 8 && len(removed) > 0: // re-add a removed id (same expiry)
+			for id, exp := range removed {
+				if exp <= now {
+					continue // would re-add an already-expired message
+				}
+				m1 := &msg.Message{ID: id, From: 0, To: 1, Size: 10, Created: exp - 100, Expire: exp}
+				m2 := *m1
+				heapB.Add(now, msg.NewCopy(m1, 1))
+				naiveB.Add(now, msg.NewCopy(&m2, 1))
+				live = append(live, id)
+				delete(removed, id)
+				break
+			}
+		default: // expiry sweep
+			h := heapB.DropExpired(now)
+			n := naiveDropExpired(naiveB, now)
+			if len(h) != len(n) {
+				t.Fatalf("step %d t=%g: heap dropped %d, naive %d", step, now, len(h), len(n))
+			}
+			hs := map[int]bool{}
+			for _, c := range h {
+				hs[c.M.ID] = true
+			}
+			for _, c := range n {
+				if !hs[c.M.ID] {
+					t.Fatalf("step %d: naive dropped %d, heap did not", step, c.M.ID)
+				}
+			}
+			for i := 0; i < len(live); {
+				if hs[live[i]] {
+					live = append(live[:i], live[i+1:]...)
+				} else {
+					i++
+				}
+			}
+		}
+		if heapB.Len() != naiveB.Len() {
+			t.Fatalf("step %d: Len %d vs %d", step, heapB.Len(), naiveB.Len())
+		}
+	}
+	// Surviving sequences must match element-wise (insertion order).
+	ha, na := heapB.All(), naiveB.All()
+	for i := range ha {
+		if ha[i].M.ID != na[i].M.ID {
+			t.Fatalf("surviving order diverged at %d: %d vs %d", i, ha[i].M.ID, na[i].M.ID)
+		}
+	}
+	// Drain everything far in the future; both must agree one last time.
+	now += 1e6
+	if h, n := heapB.DropExpired(now), naiveDropExpired(naiveB, now); len(h) != len(n) {
+		t.Fatalf("final drain: %d vs %d", len(h), len(n))
+	}
+	if heapB.Len() != 0 {
+		t.Fatalf("drain left %d copies", heapB.Len())
+	}
+}

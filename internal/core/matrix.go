@@ -44,15 +44,51 @@ type MeetingStore interface {
 	ForEachKnown(owner int, f func(peer int, interval float64))
 }
 
+// ExchangeStats tallies the link-state volume one merge (or one Sync, both
+// directions) actually moved: rows replaced because the sender's were
+// fresher, the known (finite, off-diagonal) entries those rows carried, and
+// the serialized bytes they stand for. Dense and sparse stores report
+// identical stats for identical exchanges — a dense row's unknown entries
+// never travel, mirroring the sparse row that simply omits them — so the
+// counters are storage-mode independent like every other summary metric.
+type ExchangeStats struct {
+	Rows    int
+	Entries int
+	Bytes   int
+}
+
+// Serialized row cost model behind ExchangeStats.Bytes: a row header
+// (owner id 4 B + freshness timestamp 8 B + entry count 4 B) plus
+// (peer id 4 B + float64 value 8 B) per known entry.
+const (
+	rowHeaderBytes = 16
+	entryBytes     = 12
+)
+
+// AddRow accounts one copied row with n known entries.
+func (e *ExchangeStats) AddRow(entries int) {
+	e.Rows++
+	e.Entries += entries
+	e.Bytes += rowHeaderBytes + entries*entryBytes
+}
+
+// Add accumulates o into e.
+func (e *ExchangeStats) Add(o ExchangeStats) {
+	e.Rows += o.Rows
+	e.Entries += o.Entries
+	e.Bytes += o.Bytes
+}
+
 // Sync merges two stores of the same implementation into the element-wise
 // fresher rows required by Algorithm 1 line 4 — the interface-level
 // SyncPair. Mixing implementations panics: a world runs one storage mode.
-func Sync(a, b MeetingStore) {
+// It returns the combined exchange volume of both directions.
+func Sync(a, b MeetingStore) ExchangeStats {
 	switch x := a.(type) {
 	case *MeetingMatrix:
-		SyncPair(x, b.(*MeetingMatrix))
+		return SyncPair(x, b.(*MeetingMatrix))
 	case *SparseMeetingStore:
-		SyncSparse(x, b.(*SparseMeetingStore))
+		return SyncSparse(x, b.(*SparseMeetingStore))
 	default:
 		panic(fmt.Sprintf("core: Sync over unknown MeetingStore implementation %T", a))
 	}
@@ -190,13 +226,14 @@ func (m *MeetingMatrix) ForEachKnown(owner int, f func(peer int, interval float6
 }
 
 // Merge copies into m every row of other that is strictly fresher,
-// implementing the exchange of Algorithm 1 line 4. It returns the number of
-// rows copied. Both matrices must cover the same id set.
-func (m *MeetingMatrix) Merge(other *MeetingMatrix) int {
+// implementing the exchange of Algorithm 1 line 4. It returns the exchange
+// volume (rows copied, known entries they carried, serialized bytes). Both
+// matrices must cover the same id set.
+func (m *MeetingMatrix) Merge(other *MeetingMatrix) ExchangeStats {
 	if len(m.ids) != len(other.ids) {
 		panic("core: merging meeting matrices over different node sets")
 	}
-	copied := 0
+	var st ExchangeStats
 	for i := range m.ids {
 		if m.ids[i] != other.ids[i] {
 			panic("core: merging meeting matrices over different node sets")
@@ -204,17 +241,31 @@ func (m *MeetingMatrix) Merge(other *MeetingMatrix) int {
 		if other.updated[i] > m.updated[i] {
 			copy(m.rows[i], other.rows[i])
 			m.updated[i] = other.updated[i]
-			copied++
+			st.AddRow(knownEntries(m.rows[i], i))
 		}
 	}
-	return copied
+	return st
+}
+
+// knownEntries counts the finite off-diagonal entries of row i — exactly
+// the entries ForEachKnown visits, and exactly what a sparse row stores.
+func knownEntries(row []float64, i int) int {
+	n := 0
+	for j, v := range row {
+		if j != i && !math.IsInf(v, 1) {
+			n++
+		}
+	}
+	return n
 }
 
 // SyncPair merges a and b into the identical MI required by Algorithm 1
-// line 4: each ends up with the element-wise fresher rows of the two.
-func SyncPair(a, b *MeetingMatrix) {
-	a.Merge(b)
-	b.Merge(a)
+// line 4: each ends up with the element-wise fresher rows of the two. It
+// returns the combined exchange volume of both directions.
+func SyncPair(a, b *MeetingMatrix) ExchangeStats {
+	st := a.Merge(b)
+	st.Add(b.Merge(a))
+	return st
 }
 
 // KnownRows returns how many rows have ever been updated.

@@ -82,8 +82,8 @@ func TestMergeFreshness(t *testing.T) {
 
 	// A staler copy must not overwrite a fresher row.
 	stale := NewFullMeetingMatrix(2)
-	if n := a.Merge(stale); n != 0 {
-		t.Errorf("merging stale matrix copied %d rows, want 0", n)
+	if st := a.Merge(stale); st.Rows != 0 {
+		t.Errorf("merging stale matrix copied %d rows, want 0", st.Rows)
 	}
 	if v := a.Interval(1, 0); v != 30 {
 		t.Errorf("row overwritten by stale merge: %g", v)

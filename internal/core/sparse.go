@@ -107,13 +107,61 @@ func (r *SparseRow) copyFrom(o *SparseRow) {
 // freshness merge of Algorithm 1 line 4 — the sparse counterpart of the
 // dense matrix's rows+updated arrays. The sparse MI store and MaxProp's
 // flooded probability vectors both build on it.
+//
+// An optional MaxRows cap (SetCap) bounds the set for long-horizon runs:
+// when a merge would grow the set past the cap, the rows with the oldest
+// freshness timestamps — the stalest link state, least likely to still
+// describe the network — are evicted first, except the pinned own row,
+// which always survives. Evicted knowledge can always be re-learned from a
+// fresher gossip; capping trades a little routing accuracy for a hard
+// memory bound.
 type SparseRows struct {
-	rows map[int]*SparseRow
+	rows    map[int]*SparseRow
+	maxRows int // 0 = unbounded
+	pin     int // owner id never evicted; -1 = none
 }
 
-// NewSparseRows returns an empty row set.
+// NewSparseRows returns an empty, unbounded row set.
 func NewSparseRows() *SparseRows {
-	return &SparseRows{rows: make(map[int]*SparseRow)}
+	return &SparseRows{rows: make(map[int]*SparseRow), pin: -1}
+}
+
+// SetCap bounds the set to maxRows rows (0 = unbounded), never evicting
+// the row owned by pin (-1 = none). An over-full set is trimmed
+// immediately.
+func (s *SparseRows) SetCap(maxRows, pin int) {
+	s.maxRows = maxRows
+	s.pin = pin
+	s.evictOverCap()
+}
+
+// Len returns the number of stored rows (published or learned).
+func (s *SparseRows) Len() int { return len(s.rows) }
+
+// evictOverCap removes stalest rows until the cap is respected: the victim
+// is the row with the smallest (Updated, owner id), never the pinned one.
+// The full scan per eviction is fine — evictions are rare (one per
+// over-cap merge insertion) and rows are at most maxRows+merge size.
+func (s *SparseRows) evictOverCap() {
+	if s.maxRows <= 0 {
+		return
+	}
+	for len(s.rows) > s.maxRows {
+		victim, found := 0, false
+		for id, r := range s.rows {
+			if id == s.pin {
+				continue
+			}
+			if !found || r.Updated < s.rows[victim].Updated ||
+				(r.Updated == s.rows[victim].Updated && id < victim) {
+				victim, found = id, true
+			}
+		}
+		if !found {
+			return // only the pinned row remains
+		}
+		delete(s.rows, victim)
+	}
 }
 
 // Row returns owner's row, or nil if the set holds none.
@@ -142,11 +190,13 @@ func (s *SparseRows) KnownRows() int {
 }
 
 // MergeFresher copies into s every row of o that is strictly fresher,
-// returning the number of rows copied. Map iteration order is fine here:
-// row copies are independent, so no simulation-visible float order depends
-// on it.
-func (s *SparseRows) MergeFresher(o *SparseRows) int {
-	copied := 0
+// returning the exchange volume (rows copied, entries carried, serialized
+// bytes). Map iteration order is fine here: row copies are independent, so
+// no simulation-visible float order depends on it — and the exchange
+// counters are order-independent sums. A configured cap (SetCap) is
+// enforced after the merge, stalest rows first.
+func (s *SparseRows) MergeFresher(o *SparseRows) ExchangeStats {
+	var st ExchangeStats
 	for id, or := range o.rows {
 		if or.Updated < 0 {
 			continue // never-published rows don't travel
@@ -158,10 +208,11 @@ func (s *SparseRows) MergeFresher(o *SparseRows) int {
 		}
 		if or.Updated > mine.Updated {
 			mine.copyFrom(or)
-			copied++
+			st.AddRow(or.Len())
 		}
 	}
-	return copied
+	s.evictOverCap()
+	return st
 }
 
 // SparseMeetingStore implements MeetingStore with per-row storage over
@@ -193,6 +244,19 @@ func NewScopedSparseMeetingStore(ids []int) *SparseMeetingStore {
 	}
 	return &SparseMeetingStore{size: len(ids), scope: scope, rows: NewSparseRows()}
 }
+
+// SetMaxRows bounds the store to maxRows rows (0 = unbounded) with
+// stale-row eviction, never evicting self's own row — the long-horizon
+// memory cap of Scenario.MaxSparseRows. Capping changes which link state a
+// node retains, so it is off by default; summaries remain deterministic
+// for any fixed cap.
+func (s *SparseMeetingStore) SetMaxRows(maxRows, self int) {
+	s.rows.SetCap(maxRows, self)
+}
+
+// StoredRows returns the number of rows currently held (published or
+// learned) — the quantity MaxRows bounds.
+func (s *SparseMeetingStore) StoredRows() int { return s.rows.Len() }
 
 // Size implements MeetingStore.
 func (s *SparseMeetingStore) Size() int { return s.size }
@@ -265,10 +329,13 @@ func (s *SparseMeetingStore) ForEachKnown(owner int, f func(peer int, interval f
 }
 
 // SyncSparse merges a and b into the identical element-wise fresher rows,
-// the sparse counterpart of SyncPair.
-func SyncSparse(a, b *SparseMeetingStore) {
-	a.rows.MergeFresher(b.rows)
-	b.rows.MergeFresher(a.rows)
+// the sparse counterpart of SyncPair. It returns the combined exchange
+// volume of both directions. With row caps the post-merge stores are no
+// longer necessarily identical — each keeps its own freshest cap-full.
+func SyncSparse(a, b *SparseMeetingStore) ExchangeStats {
+	st := a.rows.MergeFresher(b.rows)
+	st.Add(b.rows.MergeFresher(a.rows))
+	return st
 }
 
 // dijItem is a pending (distance, vertex) heap entry.

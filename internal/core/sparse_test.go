@@ -383,3 +383,110 @@ func TestSparseDijkstraBoundedHeap(t *testing.T) {
 		t.Fatalf("reached %d vertices, want 3", reached)
 	}
 }
+
+// fillRow publishes a single-entry row owned by id at freshness t into s.
+func fillRow(s *SparseRows, id int, t float64) {
+	r := s.Ensure(id)
+	r.Reset()
+	r.Append((id+1)%1000, 1)
+	r.Updated = t
+}
+
+// TestSparseRowsCapEviction: a capped row set evicts the stalest rows
+// first, never the pinned own row, and merges respect the cap.
+func TestSparseRowsCapEviction(t *testing.T) {
+	s := NewSparseRows()
+	s.SetCap(3, 7)
+	fillRow(s, 7, 5) // own row, pinned despite being stale
+
+	// Learn rows via merge, fresher than the own row.
+	o := NewSparseRows()
+	for i, tm := range map[int]float64{1: 10, 2: 20, 3: 30} {
+		fillRow(o, i, tm)
+	}
+	st := s.MergeFresher(o)
+	if st.Rows != 3 || st.Entries != 3 {
+		t.Fatalf("merge stats = %+v, want 3 rows / 3 entries", st)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (cap)", s.Len())
+	}
+	// The stalest learned row (id 1, t=10) was evicted; the pinned stale
+	// own row survived.
+	if s.Row(1) != nil {
+		t.Error("stalest row 1 not evicted")
+	}
+	if s.Row(7) == nil {
+		t.Error("pinned own row evicted")
+	}
+	if s.Row(2) == nil || s.Row(3) == nil {
+		t.Error("fresher rows evicted")
+	}
+
+	// A fresher incoming row displaces the now-stalest resident (id 2).
+	o2 := NewSparseRows()
+	fillRow(o2, 4, 40)
+	s.MergeFresher(o2)
+	if s.Row(2) != nil {
+		t.Error("stalest row 2 not evicted on over-cap merge")
+	}
+	if s.Row(4) == nil {
+		t.Error("fresh row 4 not retained")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 after second merge", s.Len())
+	}
+
+	// Ties on freshness evict the smaller owner id, deterministically.
+	tie := NewSparseRows()
+	tie.SetCap(1, -1)
+	src := NewSparseRows()
+	fillRow(src, 5, 50)
+	fillRow(src, 6, 50)
+	tie.MergeFresher(src)
+	if tie.Len() != 1 || tie.Row(6) == nil {
+		t.Errorf("tie eviction kept wrong row (len=%d)", tie.Len())
+	}
+}
+
+// TestSparseMeetingStoreMaxRows: the MeetingStore-level cap keeps the own
+// row queryable and bounds StoredRows.
+func TestSparseMeetingStoreMaxRows(t *testing.T) {
+	const n = 10
+	s := NewSparseMeetingStore(n)
+	s.SetMaxRows(2, 0)
+	h := NewSparseHistory(0, n, 0)
+	h.RecordContact(1, 10)
+	h.RecordContact(1, 30)
+	s.UpdateOwnRow(0, 30, h)
+
+	o := NewSparseMeetingStore(n)
+	oh := NewSparseHistory(3, n, 0)
+	oh.RecordContact(4, 5)
+	oh.RecordContact(4, 25)
+	o.UpdateOwnRow(3, 40, oh)
+	oh.RecordContact(5, 45)
+	SyncSparse(s, o)
+	if s.StoredRows() != 2 {
+		t.Fatalf("StoredRows = %d, want 2", s.StoredRows())
+	}
+	if s.Interval(0, 1) != 20 {
+		t.Errorf("own row entry lost: %g", s.Interval(0, 1))
+	}
+	// A fresher third row evicts node 3's, not the pinned own row.
+	o2 := NewSparseMeetingStore(n)
+	o2h := NewSparseHistory(6, n, 0)
+	o2h.RecordContact(7, 10)
+	o2h.RecordContact(7, 20)
+	o2.UpdateOwnRow(6, 50, o2h)
+	SyncSparse(s, o2)
+	if s.Interval(0, 1) != 20 {
+		t.Errorf("own row evicted: %g", s.Interval(0, 1))
+	}
+	if s.RowUpdated(3) != -1 {
+		t.Errorf("stale row 3 survived the cap (updated %g)", s.RowUpdated(3))
+	}
+	if s.RowUpdated(6) != 50 {
+		t.Errorf("fresh row 6 missing (updated %g)", s.RowUpdated(6))
+	}
+}

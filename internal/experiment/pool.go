@@ -33,35 +33,66 @@ func RunBatch(ss []Scenario) []metrics.Summary {
 	return out
 }
 
+// simSlots bounds the simulations *executing* at any instant across the
+// whole process at GOMAXPROCS (sized at init; later GOMAXPROCS changes
+// are not tracked). A single forEachJob call never blocks on it — its
+// worker count already respects the bound — but concurrent callers (dtnd
+// runs jobs as they arrive) share the permits instead of multiplying
+// worker sets, so the machine is never oversubscribed with worlds that
+// are tens of MB each. Simulations never start simulations, so permit
+// acquisition cannot nest and cannot deadlock.
+var simSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
 // forEachJob runs job(0..n-1) on min(GOMAXPROCS, n) workers, handing out
 // indices through an atomic counter so fast workers steal remaining work.
+// Each executing job additionally holds a process-wide simSlots permit.
 func forEachJob(n int, job func(i int)) {
+	runJob := func(i int) {
+		simSlots <- struct{}{}
+		defer func() { <-simSlots }()
+		job(i)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			runJob(i)
 		}
 		return
 	}
+	// A panic on a worker goroutine would kill the process no matter what
+	// the caller deferred (dtnd contains per-job panics with recover), so
+	// workers capture the first panic and forEachJob re-raises it on the
+	// calling goroutine — CLI runs still crash with a stack, servers can
+	// contain it.
+	var panicOnce sync.Once
+	var panicVal any
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				job(i)
+				runJob(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // expand returns one scenario per (base, seed 1..nSeeds) pair, flattening

@@ -69,6 +69,12 @@ type Scenario struct {
 	// with Nodes >= SparseNodeThreshold select the sparse core
 	// automatically — at city scale the dense state cannot be allocated.
 	SparseEstimators bool
+	// MaxSparseRows caps every sparse estimator store (EER/CR MI, MaxProp
+	// probability rows) at that many rows per node, evicting the stalest
+	// row first (own row pinned). 0 = unbounded. A memory bound for
+	// long-horizon city runs; capping discards link state, so summaries
+	// may differ from uncapped runs (deterministically, per cap value).
+	MaxSparseRows int
 
 	// Simulation parameters.
 	Duration float64
@@ -130,40 +136,32 @@ func Default() Scenario {
 }
 
 // Quick returns a scaled-down scenario for tests and testing.B benches:
-// same physics, smaller fleet and shorter run.
+// same physics, smaller fleet and shorter run. It is QuickSpec resolved —
+// the constructors and user-submitted dtnd specs share one code path.
 func Quick() Scenario {
-	s := Default()
-	s.Nodes = 60
-	s.Duration = 2500
-	s.Tick = 0.5
-	return s
+	return mustResolve(QuickSpec())
 }
 
 // CityScale returns the >=10k-node city scenario the sharded tick path
 // targets: a metropolitan-sized map with a large bus fleet threading
 // districts full of community walkers ("city" mobility). One world at this
 // scale is where Config.Shards pays off — BenchmarkCityScale measures it.
+//
+// The default protocol stays SprayAndWait — O(1) per-contact router work
+// keeps this preset an engine benchmark — but the fleet size is over
+// SparseNodeThreshold, so setting Protocol to EER, CR or MaxProp runs the
+// sparse estimator core (BenchmarkCityScaleSparse measures those
+// variants). It is CityScaleSpec resolved — one code path with dtnd specs.
 func CityScale() Scenario {
-	s := Default()
-	s.Nodes = 10000
-	// The default protocol stays SprayAndWait — O(1) per-contact router
-	// work keeps this preset an engine benchmark — but the fleet size is
-	// over SparseNodeThreshold, so setting Protocol to EER, CR or MaxProp
-	// runs the sparse estimator core: per-node state proportional to
-	// observed peers and recorded-edge MEMD/cost Dijkstras
-	// (BenchmarkCityScaleSparse measures those variants).
-	s.Protocol = SprayAndWait
-	s.Mobility = "city"
-	s.Map.Width = 12000
-	s.Map.Height = 9000
-	s.Map.GridX = 40
-	s.Map.GridY = 30
-	s.Map.Diagonals = 8
-	s.Map.Lines = 40
-	s.Map.StopsPerLine = 8
-	s.Map.Districts = 8
-	s.Duration = 600
-	s.Tick = 0.5
+	return mustResolve(CityScaleSpec())
+}
+
+// mustResolve resolves a known-good built-in spec.
+func mustResolve(sp ScenarioSpec) Scenario {
+	s, err := sp.Scenario()
+	if err != nil {
+		panic("experiment: built-in spec invalid: " + err.Error())
+	}
 	return s
 }
 
@@ -239,11 +237,11 @@ var routerFactories = map[Protocol]func(s Scenario, reg *community.Registry) fun
 	},
 	CR: func(s Scenario, reg *community.Registry) func() network.Router {
 		cfg := routing.CRConfig{Lambda: s.Lambda, Alpha: s.Alpha, Window: s.Window,
-			SparseEstimators: s.sparseEstimators()}
+			SparseEstimators: s.sparseEstimators(), MaxSparseRows: s.MaxSparseRows}
 		return routing.CRFactory(cfg, reg)
 	},
 	MaxProp: func(s Scenario, _ *community.Registry) func() network.Router {
-		return routing.MaxPropFactory(s.Nodes, s.sparseEstimators())
+		return routing.MaxPropFactory(s.Nodes, s.sparseEstimators(), s.MaxSparseRows)
 	},
 	EBR: func(s Scenario, _ *community.Registry) func() network.Router {
 		return func() network.Router { return routing.NewEBR(s.Lambda) }
@@ -356,6 +354,7 @@ func (s Scenario) eerConfig() routing.EERConfig {
 		Window:            s.Window,
 		ForwardHysteresis: s.ForwardHysteresis,
 		SparseEstimators:  s.sparseEstimators(),
+		MaxSparseRows:     s.MaxSparseRows,
 	}
 }
 

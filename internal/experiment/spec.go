@@ -1,0 +1,481 @@
+package experiment
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// This file is the declarative face of the experiment layer: ScenarioSpec
+// is a JSON document describing one simulation job — a preset name plus
+// field overrides — that resolves to exactly one Scenario and seed list.
+// The named presets re-express the hard-coded scenario constructors
+// (Quick, CityScale, the Figure-2 column base) as specs, so "a scenario
+// someone imagined" and "a scenario the paper ran" travel through one code
+// path: spec → resolve → validate → Scenario. dtnd accepts specs over
+// HTTP; the canonical serialization of the resolved job is hashed into the
+// content address its result cache is keyed by.
+
+// SpecVersion is baked into every cache key. Bump it whenever simulation
+// semantics change (protocol behaviour, RNG streams, engine physics), so
+// stale cached results can never be served for a new engine.
+const SpecVersion = 1
+
+// ScenarioSpec is a declarative simulation job: a base preset and a set of
+// optional overrides. Pointer fields distinguish "leave the preset value"
+// (absent) from "set to the zero value" (explicit 0/false). The zero spec
+// resolves to the paper's Section V-A defaults with seed 1.
+type ScenarioSpec struct {
+	// Preset names the base scenario: "default" (or empty), "quick",
+	// "figure2" (alias of default — the Figure-2 column base; pick
+	// protocol and nodes per point) or "cityscale".
+	Preset string `json:"preset,omitempty"`
+
+	Protocol *string `json:"protocol,omitempty"`
+	Nodes    *int    `json:"nodes,omitempty"`
+	// Seeds lists the seeds to run and average over; default [1].
+	Seeds []int64 `json:"seeds,omitempty"`
+
+	// Protocol parameters.
+	Lambda            *int     `json:"lambda,omitempty"`
+	Alpha             *float64 `json:"alpha,omitempty"`
+	Window            *int     `json:"window,omitempty"`
+	ForwardHysteresis *float64 `json:"forward_hysteresis,omitempty"`
+	SparseEstimators  *bool    `json:"sparse_estimators,omitempty"`
+	MaxSparseRows     *int     `json:"max_sparse_rows,omitempty"`
+
+	// Simulation parameters.
+	Duration *float64 `json:"duration,omitempty"`
+	Tick     *float64 `json:"tick,omitempty"`
+	Shards   *int     `json:"shards,omitempty"`
+
+	// Physical layer.
+	Range     *float64 `json:"range,omitempty"`
+	Bandwidth *float64 `json:"bandwidth,omitempty"`
+	BufBytes  *int     `json:"buf_bytes,omitempty"`
+
+	// Traffic.
+	MsgSize        *int     `json:"msg_size,omitempty"`
+	TTL            *float64 `json:"ttl,omitempty"`
+	MsgIntervalMin *float64 `json:"msg_interval_min,omitempty"`
+	MsgIntervalMax *float64 `json:"msg_interval_max,omitempty"`
+	TrafficStop    *float64 `json:"traffic_stop,omitempty"`
+
+	// Mobility.
+	Mobility *string  `json:"mobility,omitempty"`
+	MinSpeed *float64 `json:"min_speed,omitempty"`
+	MaxSpeed *float64 `json:"max_speed,omitempty"`
+	MinDwell *float64 `json:"min_dwell,omitempty"`
+	MaxDwell *float64 `json:"max_dwell,omitempty"`
+	MapSeed  *int64   `json:"map_seed,omitempty"`
+	Map      *MapSpec `json:"map,omitempty"`
+}
+
+// MapSpec overrides road-map generation parameters (mapgen.Config).
+type MapSpec struct {
+	Width        *float64 `json:"width,omitempty"`
+	Height       *float64 `json:"height,omitempty"`
+	GridX        *int     `json:"grid_x,omitempty"`
+	GridY        *int     `json:"grid_y,omitempty"`
+	Diagonals    *int     `json:"diagonals,omitempty"`
+	Jitter       *float64 `json:"jitter,omitempty"`
+	Lines        *int     `json:"lines,omitempty"`
+	StopsPerLine *int     `json:"stops_per_line,omitempty"`
+	Districts    *int     `json:"districts,omitempty"`
+}
+
+// ptr returns a pointer to v — spec-literal shorthand.
+func ptr[T any](v T) *T { return &v }
+
+// QuickSpec declares the scaled-down test scenario (Quick) as a spec.
+func QuickSpec() ScenarioSpec {
+	return ScenarioSpec{
+		Nodes:    ptr(60),
+		Duration: ptr(2500.0),
+		Tick:     ptr(0.5),
+	}
+}
+
+// CityScaleSpec declares the >=10k-node city scenario (CityScale) as a
+// spec: a metropolitan-sized map, "city" mobility (buses + district
+// walkers) and an engine-benchmark default protocol.
+func CityScaleSpec() ScenarioSpec {
+	return ScenarioSpec{
+		Protocol: ptr(string(SprayAndWait)),
+		Nodes:    ptr(10000),
+		Mobility: ptr("city"),
+		Duration: ptr(600.0),
+		Tick:     ptr(0.5),
+		Map: &MapSpec{
+			Width:        ptr(12000.0),
+			Height:       ptr(9000.0),
+			GridX:        ptr(40),
+			GridY:        ptr(30),
+			Diagonals:    ptr(8),
+			Lines:        ptr(40),
+			StopsPerLine: ptr(8),
+			Districts:    ptr(8),
+		},
+	}
+}
+
+// Figure2Spec declares one cell of the paper's Figure-2 sweep — protocol p
+// at the given node count — as a spec over the default (Section V-A) base.
+func Figure2Spec(p Protocol, nodes int, seeds []int64) ScenarioSpec {
+	return ScenarioSpec{
+		Preset:   "figure2",
+		Protocol: ptr(string(p)),
+		Nodes:    ptr(nodes),
+		Seeds:    seeds,
+	}
+}
+
+// PresetSpecs returns the named base specs dtnd advertises. Each value
+// resolves on top of the paper defaults, so presets themselves travel the
+// same resolve path as user-authored specs.
+func PresetSpecs() map[string]ScenarioSpec {
+	return map[string]ScenarioSpec{
+		"default":   {},
+		"figure2":   {},
+		"quick":     QuickSpec(),
+		"cityscale": CityScaleSpec(),
+	}
+}
+
+// presetScenario resolves a preset name to its base Scenario.
+func presetScenario(name string) (Scenario, error) {
+	switch name {
+	case "", "default", "figure2":
+		return Default(), nil
+	case "quick":
+		return QuickSpec().apply(Default()), nil
+	case "cityscale":
+		return CityScaleSpec().apply(Default()), nil
+	default:
+		return Scenario{}, fmt.Errorf("unknown preset %q (have default, figure2, quick, cityscale)", name)
+	}
+}
+
+// apply overlays the spec's overrides onto base, without validation.
+func (sp ScenarioSpec) apply(base Scenario) Scenario {
+	s := base
+	if sp.Protocol != nil {
+		s.Protocol = Protocol(*sp.Protocol)
+	}
+	if sp.Nodes != nil {
+		s.Nodes = *sp.Nodes
+	}
+	if sp.Lambda != nil {
+		s.Lambda = *sp.Lambda
+	}
+	if sp.Alpha != nil {
+		s.Alpha = *sp.Alpha
+	}
+	if sp.Window != nil {
+		s.Window = *sp.Window
+	}
+	if sp.ForwardHysteresis != nil {
+		s.ForwardHysteresis = *sp.ForwardHysteresis
+	}
+	if sp.SparseEstimators != nil {
+		s.SparseEstimators = *sp.SparseEstimators
+	}
+	if sp.MaxSparseRows != nil {
+		s.MaxSparseRows = *sp.MaxSparseRows
+	}
+	if sp.Duration != nil {
+		s.Duration = *sp.Duration
+	}
+	if sp.Tick != nil {
+		s.Tick = *sp.Tick
+	}
+	if sp.Shards != nil {
+		s.Shards = *sp.Shards
+	}
+	if sp.Range != nil {
+		s.Range = *sp.Range
+	}
+	if sp.Bandwidth != nil {
+		s.Bandwidth = *sp.Bandwidth
+	}
+	if sp.BufBytes != nil {
+		s.BufBytes = *sp.BufBytes
+	}
+	if sp.MsgSize != nil {
+		s.MsgSize = *sp.MsgSize
+	}
+	if sp.TTL != nil {
+		s.TTL = *sp.TTL
+	}
+	if sp.MsgIntervalMin != nil {
+		s.MsgIntervalMin = *sp.MsgIntervalMin
+	}
+	if sp.MsgIntervalMax != nil {
+		s.MsgIntervalMax = *sp.MsgIntervalMax
+	}
+	if sp.TrafficStop != nil {
+		s.TrafficStop = *sp.TrafficStop
+	}
+	if sp.Mobility != nil {
+		s.Mobility = *sp.Mobility
+	}
+	if sp.MinSpeed != nil {
+		s.MinSpeed = *sp.MinSpeed
+	}
+	if sp.MaxSpeed != nil {
+		s.MaxSpeed = *sp.MaxSpeed
+	}
+	if sp.MinDwell != nil {
+		s.MinDwell = *sp.MinDwell
+	}
+	if sp.MaxDwell != nil {
+		s.MaxDwell = *sp.MaxDwell
+	}
+	if sp.MapSeed != nil {
+		s.MapSeed = *sp.MapSeed
+	}
+	if m := sp.Map; m != nil {
+		if m.Width != nil {
+			s.Map.Width = *m.Width
+		}
+		if m.Height != nil {
+			s.Map.Height = *m.Height
+		}
+		if m.GridX != nil {
+			s.Map.GridX = *m.GridX
+		}
+		if m.GridY != nil {
+			s.Map.GridY = *m.GridY
+		}
+		if m.Diagonals != nil {
+			s.Map.Diagonals = *m.Diagonals
+		}
+		if m.Jitter != nil {
+			s.Map.Jitter = *m.Jitter
+		}
+		if m.Lines != nil {
+			s.Map.Lines = *m.Lines
+		}
+		if m.StopsPerLine != nil {
+			s.Map.StopsPerLine = *m.StopsPerLine
+		}
+		if m.Districts != nil {
+			s.Map.Districts = *m.Districts
+		}
+	}
+	return s
+}
+
+// Scenario resolves the spec — preset base, then overrides — and
+// validates the result. The returned scenario carries the first seed of
+// the seed list; RunSpec substitutes the others.
+func (sp ScenarioSpec) Scenario() (Scenario, error) {
+	base, err := presetScenario(sp.Preset)
+	if err != nil {
+		return Scenario{}, err
+	}
+	s := sp.apply(base)
+	s.Seed = sp.SeedList()[0]
+	if len(sp.SeedList()) > maxSeeds {
+		return Scenario{}, fmt.Errorf("at most %d seeds per job, got %d", maxSeeds, len(sp.SeedList()))
+	}
+	if err := validateScenario(s); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// SeedList returns the spec's seeds, defaulting to [1].
+func (sp ScenarioSpec) SeedList() []int64 {
+	if len(sp.Seeds) == 0 {
+		return []int64{1}
+	}
+	return sp.Seeds
+}
+
+// Resource ceilings for spec-submitted jobs. dtnd is network-facing: a
+// validated spec must not be able to wedge the daemon's only job slot or
+// OOM the process, so beyond the engine's lower bounds, specs get upper
+// bounds too. The limits are far above every paper scenario (CityScale is
+// 10k nodes, 1.2k ticks, ~400 messages) yet small enough that an accepted
+// job always terminates in bounded memory. CLI paths construct Scenario
+// directly and are not subject to them.
+const (
+	maxNodes  = 200_000    // 20x CityScale; per-node engine state stays allocatable
+	maxTicks  = 50_000_000 // duration/tick steps per seed
+	maxEvents = 10_000_000 // generated messages per seed (duration/min interval)
+	maxSeeds  = 64         // seeds per job
+	maxShards = 256        // per-shard scratch is allocated eagerly; beyond cores it only slows ticks
+)
+
+// validateScenario rejects resolved scenarios the engine would panic on or
+// silently misbehave with, and scenarios beyond the service ceilings.
+func validateScenario(s Scenario) error {
+	if _, ok := routerFactories[s.Protocol]; !ok {
+		return fmt.Errorf("unknown protocol %q", s.Protocol)
+	}
+	switch s.Mobility {
+	case "", "bus", "rwp", "city":
+	default:
+		return fmt.Errorf("unknown mobility model %q (have bus, rwp, city)", s.Mobility)
+	}
+	if s.Nodes < 2 {
+		return fmt.Errorf("need at least two nodes, got %d", s.Nodes)
+	}
+	if s.Nodes > maxNodes {
+		return fmt.Errorf("at most %d nodes, got %d", maxNodes, s.Nodes)
+	}
+	if s.Lambda < 1 {
+		return fmt.Errorf("lambda must be >= 1, got %d", s.Lambda)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("duration must be positive, got %g", s.Duration)
+	}
+	if s.Tick <= 0 {
+		return fmt.Errorf("tick must be positive, got %g", s.Tick)
+	}
+	if s.Duration/s.Tick > maxTicks {
+		return fmt.Errorf("duration/tick = %g steps exceeds the %d-step job ceiling", s.Duration/s.Tick, maxTicks)
+	}
+	if s.Shards < 0 || s.Shards > maxShards {
+		return fmt.Errorf("shards must be in [0, %d], got %d", maxShards, s.Shards)
+	}
+	if s.Range <= 0 || s.Bandwidth <= 0 {
+		return fmt.Errorf("range and bandwidth must be positive, got %g and %g", s.Range, s.Bandwidth)
+	}
+	if s.MsgSize <= 0 {
+		return fmt.Errorf("message size must be positive, got %d", s.MsgSize)
+	}
+	if s.TTL <= 0 {
+		return fmt.Errorf("ttl must be positive, got %g", s.TTL)
+	}
+	if s.MsgIntervalMin <= 0 || s.MsgIntervalMax < s.MsgIntervalMin {
+		return fmt.Errorf("message interval must satisfy 0 < min <= max, got [%g, %g]",
+			s.MsgIntervalMin, s.MsgIntervalMax)
+	}
+	if s.Duration/s.MsgIntervalMin > maxEvents {
+		return fmt.Errorf("duration/message interval = %g messages exceeds the %d-message job ceiling",
+			s.Duration/s.MsgIntervalMin, maxEvents)
+	}
+	if s.MaxSparseRows < 0 {
+		return fmt.Errorf("max_sparse_rows must be >= 0, got %d", s.MaxSparseRows)
+	}
+	if s.Map.GridX < 2 || s.Map.GridY < 2 || s.Map.Lines < 1 || s.Map.StopsPerLine < 2 ||
+		s.Map.Districts < 1 || s.Map.Width <= 0 || s.Map.Height <= 0 {
+		return fmt.Errorf("degenerate map config %+v", s.Map)
+	}
+	return nil
+}
+
+// ParseSpec decodes a JSON spec strictly: unknown fields are errors, so a
+// typo like "protocl" fails the submission instead of silently running the
+// preset default.
+func ParseSpec(data []byte) (ScenarioSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp ScenarioSpec
+	if err := dec.Decode(&sp); err != nil {
+		return ScenarioSpec{}, fmt.Errorf("bad scenario spec: %w", err)
+	}
+	return sp, nil
+}
+
+// canonicalJob is the hashed cache-key payload: the fully resolved
+// scenario (all defaults filled, per-run seed zeroed — the seed axis lives
+// in Seeds) plus the spec version. Two specs that resolve to the same
+// simulation share a key no matter how they were written; any semantic
+// difference — one field, one seed — produces a different key.
+type canonicalJob struct {
+	Version  int
+	Scenario Scenario
+	Seeds    []int64
+}
+
+// CanonicalJSON returns the canonical serialization of the resolved job —
+// the cache-key preimage, also useful for humans diffing what two specs
+// actually run.
+func (sp ScenarioSpec) CanonicalJSON() ([]byte, error) {
+	s, err := sp.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	s.Seed = 0
+	return json.Marshal(canonicalJob{Version: SpecVersion, Scenario: s, Seeds: sp.SeedList()})
+}
+
+// CacheKey returns the content address of the spec's result: the SHA-256
+// of its canonical serialization, hex-encoded.
+func (sp ScenarioSpec) CacheKey() (string, error) {
+	data, err := sp.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// RunSpec executes the spec over its seed list through the shared bounded
+// pool and returns the per-seed summaries in seed order.
+func RunSpec(sp ScenarioSpec) ([]metrics.Summary, error) {
+	return RunSpecProgress(sp, nil)
+}
+
+// RunSpecProgress is RunSpec with live progress: when progress is non-nil
+// it receives throttled per-seed metrics.Progress events (from pool worker
+// goroutines — the callback must be safe for concurrent use) whose Frac
+// aggregates completion across all seeds. Observation does not perturb the
+// run: summaries are bit-identical with and without a progress callback.
+func RunSpecProgress(sp ScenarioSpec, progress func(metrics.Progress)) ([]metrics.Summary, error) {
+	s, err := sp.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	seeds := sp.SeedList()
+	sums := make([]metrics.Summary, len(seeds))
+
+	var mu sync.Mutex
+	fracs := make([]float64, len(seeds)) // per-seed completion in [0,1]
+	emit := func(i int, t, duration float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		fracs[i] = t / duration
+		total := 0.0
+		for _, f := range fracs {
+			total += f
+		}
+		// Deliver under the lock: events arrive in non-decreasing Frac
+		// order even when seeds run on parallel workers. Callbacks are
+		// cheap (dtnd appends to a slice), so serializing them costs
+		// nothing against the simulation work between two emits.
+		progress(metrics.Progress{
+			Seed:     i,
+			Seeds:    len(seeds),
+			T:        t,
+			Duration: duration,
+			Frac:     total / float64(len(seeds)),
+		})
+	}
+
+	forEachJob(len(seeds), func(i int) {
+		sc := s
+		sc.Seed = seeds[i]
+		w, runner := sc.Build()
+		if progress == nil {
+			runner.Run(sc.Duration)
+		} else {
+			// ~2% reporting granularity, at least every tick.
+			every := int(sc.Duration / sc.Tick / 50)
+			if every < 1 {
+				every = 1
+			}
+			runner.RunProgress(sc.Duration, every, func(t float64) { emit(i, t, sc.Duration) })
+		}
+		sums[i] = w.Metrics.Summary()
+	})
+	return sums, nil
+}

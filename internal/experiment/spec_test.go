@@ -1,0 +1,205 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestSpecPresetRoundTrip: the named preset specs resolve to exactly the
+// scenarios the constructors return — specs and constructors are one code
+// path — and survive a JSON round trip unchanged.
+func TestSpecPresetRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ScenarioSpec
+		want Scenario
+	}{
+		{"default", ScenarioSpec{}, Default()},
+		{"quick", QuickSpec(), Quick()},
+		{"cityscale", CityScaleSpec(), CityScale()},
+		{"figure2 cell", Figure2Spec(MaxProp, 160, nil), withNodesProto(Default(), 160, MaxProp)},
+	}
+	for _, c := range cases {
+		data, err := json.Marshal(c.spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", c.name, err)
+		}
+		parsed, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		got, err := parsed.Scenario()
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: spec resolved to\n%+v\nwant\n%+v", c.name, got, c.want)
+		}
+	}
+}
+
+func withNodesProto(s Scenario, n int, p Protocol) Scenario {
+	s.Nodes = n
+	s.Protocol = p
+	return s
+}
+
+// TestSpecGoldenFigure2: a Figure-2 cell submitted as a spec produces
+// summaries bit-identical to the committed golden fixture — the same pin
+// TestGoldenFigure2 applies to the constructor path, reused for the
+// declarative path. One protocol keeps it affordable in every test run.
+func TestSpecGoldenFigure2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3 simulations in -short mode")
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	var want map[string][]goldenPoint
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	g := goldenScenario()
+	sp := Figure2Spec(EER, g.Nodes, []int64{1, 2, 3})
+	sp.Duration = ptr(g.Duration)
+	sp.Tick = ptr(g.Tick)
+	sums, err := RunSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed, sum := range sums {
+		got := goldenPoint{Delivery: sum.DeliveryRatio, Latency: sum.AvgLatency, Goodput: sum.Goodput}
+		if got != want["EER"][seed] {
+			t.Errorf("seed %d: spec path drifted from golden fixture:\n  golden %+v\n  spec   %+v", seed+1, want["EER"][seed], got)
+		}
+	}
+}
+
+// TestSpecValidation: malformed specs are rejected with telling errors,
+// never run.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name, wantErr string
+		spec          ScenarioSpec
+	}{
+		{"unknown preset", "unknown preset", ScenarioSpec{Preset: "helsinki"}},
+		{"unknown protocol", "unknown protocol", ScenarioSpec{Protocol: ptr("EERX")}},
+		{"unknown mobility", "unknown mobility", ScenarioSpec{Mobility: ptr("teleport")}},
+		{"one node", "two nodes", ScenarioSpec{Nodes: ptr(1)}},
+		{"zero lambda", "lambda", ScenarioSpec{Lambda: ptr(0)}},
+		{"negative duration", "duration", ScenarioSpec{Duration: ptr(-1.0)}},
+		{"zero tick", "tick", ScenarioSpec{Tick: ptr(0.0)}},
+		{"negative shards", "shards", ScenarioSpec{Shards: ptr(-2)}},
+		{"zero range", "range", ScenarioSpec{Range: ptr(0.0)}},
+		{"zero msg size", "message size", ScenarioSpec{MsgSize: ptr(0)}},
+		{"zero ttl", "ttl", ScenarioSpec{TTL: ptr(0.0)}},
+		{"interval inverted", "interval", ScenarioSpec{MsgIntervalMin: ptr(30.0), MsgIntervalMax: ptr(20.0)}},
+		{"negative row cap", "max_sparse_rows", ScenarioSpec{MaxSparseRows: ptr(-1)}},
+		{"degenerate map", "map", ScenarioSpec{Map: &MapSpec{Lines: ptr(0)}}},
+		// Service ceilings: a validated spec must always terminate in
+		// bounded memory (dtnd is network-facing).
+		{"too many nodes", "nodes", ScenarioSpec{Nodes: ptr(50_000_000)}},
+		{"too many ticks", "step", ScenarioSpec{Duration: ptr(1e9), Tick: ptr(0.01)}},
+		{"too much traffic", "message", ScenarioSpec{MsgIntervalMin: ptr(1e-9), MsgIntervalMax: ptr(1e-9)}},
+		{"too many seeds", "seeds", ScenarioSpec{Seeds: make([]int64, 65)}},
+		{"too many shards", "shards", ScenarioSpec{Shards: ptr(100000)}},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Scenario(); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestParseSpecStrict: unknown JSON fields (typos) fail the parse.
+func TestParseSpecStrict(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"protocl": "EER"}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseSpec([]byte(`{`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"preset": "quick"}`)); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestSpecCacheKey: the content address depends on what the spec *runs*,
+// not how it is written — explicit defaults hash like omitted ones — and
+// any semantic change (a parameter, a seed) changes the key.
+func TestSpecCacheKey(t *testing.T) {
+	base := ScenarioSpec{Protocol: ptr(string(EER))}
+	k1, err := base.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same resolved job, written differently.
+	explicit := ScenarioSpec{Preset: "default", Protocol: ptr(string(EER)), Nodes: ptr(120), Seeds: []int64{1}}
+	if k2, _ := explicit.CacheKey(); k2 != k1 {
+		t.Errorf("explicit defaults changed the key: %s vs %s", k2, k1)
+	}
+	// Any semantic difference must change it.
+	for name, sp := range map[string]ScenarioSpec{
+		"other protocol": {Protocol: ptr(string(CR))},
+		"other nodes":    {Protocol: ptr(string(EER)), Nodes: ptr(121)},
+		"other seeds":    {Protocol: ptr(string(EER)), Seeds: []int64{2}},
+		"more seeds":     {Protocol: ptr(string(EER)), Seeds: []int64{1, 2}},
+		"row cap":        {Protocol: ptr(string(EER)), MaxSparseRows: ptr(500)},
+	} {
+		k, err := sp.CacheKey()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k1 {
+			t.Errorf("%s: key collision with base", name)
+		}
+	}
+	// Invalid specs have no key.
+	if _, err := (ScenarioSpec{Nodes: ptr(0)}).CacheKey(); err == nil {
+		t.Error("invalid spec produced a cache key")
+	}
+}
+
+// TestRunSpecProgress: observing a run does not perturb it — summaries
+// with and without a progress callback are bit-identical — and progress
+// is plentiful, ordered and complete.
+func TestRunSpecProgress(t *testing.T) {
+	sp := ScenarioSpec{
+		Preset:   "quick",
+		Protocol: ptr(string(SprayAndWait)),
+		Nodes:    ptr(20),
+		Duration: ptr(600.0),
+		Seeds:    []int64{1, 2},
+	}
+	plain, err := RunSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []float64
+	observed, err := RunSpecProgress(sp, func(p metrics.Progress) {
+		if p.Seeds != 2 || p.Duration != 600 {
+			t.Errorf("bad progress frame %+v", p)
+		}
+		events = append(events, p.Frac)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("observation changed summaries:\n%+v\nvs\n%+v", plain, observed)
+	}
+	if len(events) < 20 {
+		t.Fatalf("only %d progress events", len(events))
+	}
+	last := events[len(events)-1]
+	if last != 1 {
+		t.Errorf("final frac = %g, want 1", last)
+	}
+}

@@ -25,6 +25,10 @@ type Collector struct {
 	hopSum     int
 	latencies  []float64
 
+	gossipRows    int
+	gossipEntries int
+	gossipBytes   int
+
 	deliveredIDs map[int]bool
 	createdAt    map[int]float64
 }
@@ -82,6 +86,21 @@ func (c *Collector) MessageRefused() { c.refused++ }
 
 // TransferAborted records a transfer cut off by contact loss.
 func (c *Collector) TransferAborted() { c.aborts++ }
+
+// EstimatorExchanged records one direction's worth of estimator link-state
+// gossip (MI rows, MaxProp probability vectors) copied during a contact:
+// rows replaced because the sender's were fresher, the known entries those
+// rows carried, and the serialized volume they stand for. Metadata exchange
+// is free in the simulated link model (matching ONE and the paper's cost
+// accounting); these counters make its volume visible in run summaries.
+func (c *Collector) EstimatorExchanged(rows, entries, bytes int) {
+	c.gossipRows += rows
+	c.gossipEntries += entries
+	c.gossipBytes += bytes
+}
+
+// GossipBytes returns the accumulated estimator exchange volume in bytes.
+func (c *Collector) GossipBytes() int { return c.gossipBytes }
 
 // ContactStarted records a new pairwise contact.
 func (c *Collector) ContactStarted() { c.contacts++ }
@@ -164,11 +183,30 @@ func (c *Collector) AvgHops() float64 {
 }
 
 // Summary is a value snapshot of a collector, convenient for averaging
-// across seeds and rendering.
+// across seeds and rendering. The JSON field names are the wire contract of
+// the dtnd result cache and API: two builds that agree on simulation
+// semantics produce byte-identical marshalled summaries.
 type Summary struct {
-	Generated, Delivered, Relays, Drops, Aborts, Expired, Contacts int
-	DeliveryRatio, AvgLatency, MedianLatency                       float64
-	Goodput, OverheadRatio, AvgHops                                float64
+	Generated int `json:"generated"`
+	Delivered int `json:"delivered"`
+	Relays    int `json:"relays"`
+	Drops     int `json:"drops"`
+	Aborts    int `json:"aborts"`
+	Expired   int `json:"expired"`
+	Contacts  int `json:"contacts"`
+
+	// Estimator exchange volume: link-state rows gossiped at contacts, the
+	// known entries they carried, and their serialized byte volume.
+	GossipRows    int `json:"gossip_rows"`
+	GossipEntries int `json:"gossip_entries"`
+	GossipBytes   int `json:"gossip_bytes"`
+
+	DeliveryRatio float64 `json:"delivery_ratio"`
+	AvgLatency    float64 `json:"avg_latency"`
+	MedianLatency float64 `json:"median_latency"`
+	Goodput       float64 `json:"goodput"`
+	OverheadRatio float64 `json:"overhead_ratio"`
+	AvgHops       float64 `json:"avg_hops"`
 }
 
 // Summary returns the current snapshot.
@@ -181,6 +219,9 @@ func (c *Collector) Summary() Summary {
 		Aborts:        c.aborts,
 		Expired:       c.expired,
 		Contacts:      c.contacts,
+		GossipRows:    c.gossipRows,
+		GossipEntries: c.gossipEntries,
+		GossipBytes:   c.gossipBytes,
 		DeliveryRatio: c.DeliveryRatio(),
 		AvgLatency:    c.AvgLatency(),
 		MedianLatency: c.MedianLatency(),
@@ -194,6 +235,22 @@ func (c *Collector) Summary() Summary {
 func (s Summary) String() string {
 	return fmt.Sprintf("delivery=%.3f latency=%.1fs goodput=%.4f (gen=%d del=%d relay=%d drop=%d)",
 		s.DeliveryRatio, s.AvgLatency, s.Goodput, s.Generated, s.Delivered, s.Relays, s.Drops)
+}
+
+// Progress is one live progress event of a running simulation job — the
+// NDJSON records the dtnd streaming endpoint emits. Seed indexes the
+// spec's seed list (0-based); T advances to Duration within each seed run.
+// Frac is overall job completion across all seeds in [0, 1]. The terminal
+// event of a job carries Done=true and the result summary.
+type Progress struct {
+	Seed     int      `json:"seed"`
+	Seeds    int      `json:"seeds"`
+	T        float64  `json:"t"`
+	Duration float64  `json:"duration"`
+	Frac     float64  `json:"frac"`
+	Done     bool     `json:"done,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Summary  *Summary `json:"summary,omitempty"`
 }
 
 // Mean averages a set of summaries component-wise (counts become means
@@ -212,6 +269,9 @@ func Mean(ss []Summary) Summary {
 		out.Aborts += s.Aborts
 		out.Expired += s.Expired
 		out.Contacts += s.Contacts
+		out.GossipRows += s.GossipRows
+		out.GossipEntries += s.GossipEntries
+		out.GossipBytes += s.GossipBytes
 		out.DeliveryRatio += s.DeliveryRatio
 		out.AvgLatency += s.AvgLatency
 		out.MedianLatency += s.MedianLatency
@@ -226,6 +286,9 @@ func Mean(ss []Summary) Summary {
 	out.Aborts = int(float64(out.Aborts)/n + 0.5)
 	out.Expired = int(float64(out.Expired)/n + 0.5)
 	out.Contacts = int(float64(out.Contacts)/n + 0.5)
+	out.GossipRows = int(float64(out.GossipRows)/n + 0.5)
+	out.GossipEntries = int(float64(out.GossipEntries)/n + 0.5)
+	out.GossipBytes = int(float64(out.GossipBytes)/n + 0.5)
 	out.DeliveryRatio /= n
 	out.AvgLatency /= n
 	out.MedianLatency /= n

@@ -21,6 +21,9 @@ type CRConfig struct {
 	// history and intra-community MI, heap MEMD'), with bit-identical
 	// decisions; mandatory at city scale.
 	SparseEstimators bool
+	// MaxSparseRows caps the sparse intra-community MI store at that many
+	// rows with stale-row eviction (own row pinned); 0 = unbounded.
+	MaxSparseRows int
 }
 
 // DefaultCRConfig returns the paper's parameters with quota lambda.
@@ -123,7 +126,11 @@ func (r *CR) Init(self *network.Node, w *network.World) {
 	r.ownComm = r.shared.reg.Of(self.ID)
 	if r.cfg.SparseEstimators {
 		r.hist = core.NewSparseHistory(self.ID, w.N(), r.cfg.Window)
-		r.intraMI = core.NewScopedSparseMeetingStore(r.shared.reg.Members(r.ownComm))
+		mi := core.NewScopedSparseMeetingStore(r.shared.reg.Members(r.ownComm))
+		if r.cfg.MaxSparseRows > 0 {
+			mi.SetMaxRows(r.cfg.MaxSparseRows, self.ID)
+		}
+		r.intraMI = mi
 	} else {
 		r.hist = core.NewHistory(self.ID, w.N(), r.cfg.Window)
 		r.intraMI = core.NewMeetingMatrix(r.shared.reg.Members(r.ownComm))
@@ -138,7 +145,8 @@ func (r *CR) ContactUp(t float64, peer *network.Node) {
 	r.hist.RecordContact(peer.ID, t)
 	if pr, ok := peer.Router.(*CR); ok && pr.ownComm == r.ownComm {
 		r.intraMI.UpdateOwnRow(r.Self.ID, t, r.hist)
-		core.Sync(r.intraMI, pr.intraMI)
+		st := core.Sync(r.intraMI, pr.intraMI)
+		r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes)
 	}
 	r.contacts[peer.ID] = &crContact{t0: t, decided: make(map[int]crDecision)}
 }

@@ -38,6 +38,10 @@ type EERConfig struct {
 	// decisions (see core.MeetingStore). Mandatory at city scale, where the
 	// dense n×n state cannot be allocated per node.
 	SparseEstimators bool
+	// MaxSparseRows caps the sparse MI store at that many rows with
+	// stale-row eviction (own row pinned); 0 = unbounded. Only meaningful
+	// with SparseEstimators — a bound for long-horizon runs.
+	MaxSparseRows int
 }
 
 // DefaultEERConfig returns the paper's parameters with quota lambda.
@@ -176,7 +180,11 @@ func (r *EER) Init(self *network.Node, w *network.World) {
 	n := w.N()
 	if r.cfg.SparseEstimators {
 		r.hist = core.NewSparseHistory(self.ID, n, r.cfg.Window)
-		r.mi = core.NewSparseMeetingStore(n)
+		mi := core.NewSparseMeetingStore(n)
+		if r.cfg.MaxSparseRows > 0 {
+			mi.SetMaxRows(r.cfg.MaxSparseRows, self.ID)
+		}
+		r.mi = mi
 	} else {
 		r.hist = core.NewHistory(self.ID, n, r.cfg.Window)
 		r.mi = core.NewFullMeetingMatrix(n)
@@ -193,7 +201,8 @@ func (r *EER) ContactUp(t float64, peer *network.Node) {
 	r.hist.RecordContact(peer.ID, t)
 	r.mi.UpdateOwnRow(r.Self.ID, t, r.hist)
 	if pr, ok := peer.Router.(*EER); ok {
-		core.Sync(r.mi, pr.mi)
+		st := core.Sync(r.mi, pr.mi)
+		r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes)
 	}
 	r.contacts[peer.ID] = r.shared.getContact(t)
 }

@@ -34,6 +34,10 @@ type MaxProp struct {
 	// Sparse selects observed-peer row storage and the heap-based cost
 	// Dijkstra; set it before Init (MaxPropFactory does).
 	Sparse bool
+	// MaxSparseRows caps the sparse probability-row store at that many
+	// rows with stale-row eviction (own row pinned); 0 = unbounded. Only
+	// meaningful with Sparse.
+	MaxSparseRows int
 
 	// Dense storage (nil in sparse mode).
 	probs   [][]float64 // probs[u][v]: u's meeting probability for v
@@ -59,12 +63,14 @@ func NewMaxProp() *MaxProp { return &MaxProp{HopThreshold: 7} }
 
 // MaxPropFactory returns a constructor producing MaxProp routers for n
 // nodes: dense routers sharing one Dijkstra scratch, or self-contained
-// sparse routers whose state grows with observed peers only.
-func MaxPropFactory(n int, sparse bool) func() network.Router {
+// sparse routers whose state grows with observed peers only (optionally
+// capped at maxRows rows each).
+func MaxPropFactory(n int, sparse bool, maxRows int) func() network.Router {
 	if sparse {
 		return func() network.Router {
 			r := NewMaxProp()
 			r.Sparse = true
+			r.MaxSparseRows = maxRows
 			return r
 		}
 	}
@@ -92,6 +98,9 @@ func (r *MaxProp) Init(self *network.Node, w *network.World) {
 	n := w.N()
 	if r.Sparse {
 		r.rows = core.NewSparseRows()
+		if r.MaxSparseRows > 0 {
+			r.rows.SetCap(r.MaxSparseRows, self.ID)
+		}
 		r.dij = core.NewSparseDijkstra()
 	} else {
 		r.probs = make([][]float64, n)
@@ -175,17 +184,35 @@ func (r *MaxProp) contactUpDense(t float64, peer *network.Node, pr *MaxProp) {
 	if pr == nil {
 		return
 	}
-	// Vector exchange with per-row freshness, both directions.
+	// Vector exchange with per-row freshness, both directions. Entries
+	// counted are the positive probabilities — exactly what a sparse row
+	// stores — so dense and sparse exchange volume agree.
+	var st core.ExchangeStats
 	for i := range r.probs {
 		if pr.updated[i] > r.updated[i] {
 			copy(r.probs[i], pr.probs[i])
 			r.updated[i] = pr.updated[i]
+			st.AddRow(positiveEntries(r.probs[i]))
 		} else if r.updated[i] > pr.updated[i] {
 			copy(pr.probs[i], r.probs[i])
 			pr.updated[i] = r.updated[i]
 			pr.costValid = false
+			st.AddRow(positiveEntries(r.probs[i]))
 		}
 	}
+	r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes)
+}
+
+// positiveEntries counts the positive probabilities of a dense row — the
+// entries its sparse counterpart stores.
+func positiveEntries(row []float64) int {
+	n := 0
+	for _, p := range row {
+		if p > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // contactUpSparse mirrors contactUpDense over sparse rows. The own-row
@@ -203,10 +230,13 @@ func (r *MaxProp) contactUpSparse(t float64, peer *network.Node, pr *MaxProp) {
 		return
 	}
 	// Row exchange with per-row freshness, both directions.
-	r.rows.MergeFresher(pr.rows)
-	if pr.rows.MergeFresher(r.rows) > 0 {
+	st := r.rows.MergeFresher(pr.rows)
+	back := pr.rows.MergeFresher(r.rows)
+	if back.Rows > 0 {
 		pr.costValid = false
 	}
+	st.Add(back)
+	r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes)
 }
 
 // refreshCost recomputes the Σ(1−p) Dijkstra costs from this node.

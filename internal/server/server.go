@@ -1,0 +1,547 @@
+// Package server implements dtnd, the long-running simulation service: an
+// HTTP/JSON daemon that accepts declarative scenario specs
+// (experiment.ScenarioSpec), runs them as jobs on the shared
+// GOMAXPROCS-bounded experiment pool, streams live progress as NDJSON and
+// serves results from a content-addressed cache — the hash of the
+// canonicalized spec addresses its summary on disk, so resubmitting a
+// sweep point costs one file read instead of a simulation.
+//
+// API (see DESIGN.md "Simulation service"):
+//
+//	POST /v1/jobs           submit a spec; returns job id or cached result
+//	GET  /v1/jobs/{id}        job status (+ result when done)
+//	GET  /v1/jobs/{id}/stream live NDJSON progress until the job ends
+//	GET  /v1/results/{key}    cached result by content address
+//	GET  /v1/presets          the named base specs
+//	GET  /healthz             liveness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+// Config parameterises the daemon.
+type Config struct {
+	// CacheDir is the content-addressed result store. Empty disables
+	// persistent caching (every submission simulates).
+	CacheDir string
+	// MaxConcurrentJobs bounds jobs simulating at once (default 1). Each
+	// job already fans its seeds out over the shared GOMAXPROCS-bounded
+	// pool, so one job saturates the machine; raise this only to
+	// interleave many small jobs.
+	MaxConcurrentJobs int
+	// MaxQueuedJobs bounds accepted-but-not-finished jobs (default 64);
+	// beyond it submissions are refused with 429.
+	MaxQueuedJobs int
+}
+
+// jobState is the lifecycle of a submitted job.
+type jobState string
+
+const (
+	stateQueued  jobState = "queued"
+	stateRunning jobState = "running"
+	stateDone    jobState = "done"
+	stateFailed  jobState = "failed"
+)
+
+// job is one accepted submission. Progress events accumulate under mu;
+// notify is closed and replaced on every append, so any number of
+// streaming subscribers replay the history and then follow live.
+type job struct {
+	id   string
+	key  string
+	spec experiment.ScenarioSpec
+
+	mu     sync.Mutex
+	state  jobState
+	events []metrics.Progress
+	notify chan struct{}
+	result *Result
+	errMsg string
+}
+
+// Result is the persisted outcome of a job — the value the content
+// address resolves to. CanonicalSpec echoes the exact resolved scenario
+// the key was derived from, so a cached result is self-describing.
+type Result struct {
+	Key           string            `json:"key"`
+	CanonicalSpec json.RawMessage   `json:"canonical_spec"`
+	Seeds         []int64           `json:"seeds"`
+	PerSeed       []metrics.Summary `json:"per_seed"`
+	Mean          metrics.Summary   `json:"mean"`
+}
+
+// Server is the dtnd daemon state. Create with New; serve Handler().
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job // by job id
+	active   map[string]*job // queued/running jobs by cache key (dedupe)
+	finished []string        // finished job ids, completion order (retention ring)
+	nextID   int
+	queued   int
+	draining bool
+
+	sem       chan struct{}  // MaxConcurrentJobs permits
+	wg        sync.WaitGroup // accepted jobs not yet finished
+	simulated atomic.Int64   // jobs that actually ran (cache misses)
+}
+
+// New returns a server, creating the cache directory if configured.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrentJobs <= 0 {
+		cfg.MaxConcurrentJobs = 1
+	}
+	if cfg.MaxQueuedJobs <= 0 {
+		cfg.MaxQueuedJobs = 64
+	}
+	if cfg.CacheDir != "" {
+		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: cache dir: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:    cfg,
+		jobs:   make(map[string]*job),
+		active: make(map[string]*job),
+		sem:    make(chan struct{}, cfg.MaxConcurrentJobs),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s, nil
+}
+
+// Handler returns the HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Simulated returns how many jobs ran a simulation (cache misses) — the
+// observability hook the cache tests assert on.
+func (s *Server) Simulated() int64 { return s.simulated.Load() }
+
+// Drain stops accepting jobs and waits until every accepted job has
+// finished (queued jobs still run — they were acknowledged), or until ctx
+// expires. It is the graceful-shutdown half; closing the listener is the
+// caller's (ListenAndServe's) other half.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// submitResponse is the POST /v1/jobs reply.
+type submitResponse struct {
+	JobID  string  `json:"job_id,omitempty"`
+	Key    string  `json:"key"`
+	Status string  `json:"status"`
+	Cached bool    `json:"cached"`
+	Result *Result `json:"result,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	spec, err := experiment.ParseSpec(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := spec.CacheKey() // resolves and validates the spec
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Content-addressed fast path: an identical resolved job was already
+	// computed — serve the summary from disk, no simulation.
+	if res, ok := s.readCache(key); ok {
+		writeJSON(w, http.StatusOK, submitResponse{Key: key, Status: string(stateDone), Cached: true, Result: res})
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, errors.New("server draining, not accepting jobs"))
+		return
+	}
+	// Coalesce with an in-flight identical job.
+	if j := s.active[key]; j != nil {
+		st, _, _ := j.snapshot()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, submitResponse{JobID: j.id, Key: key, Status: string(st)})
+		return
+	}
+	if s.queued >= s.cfg.MaxQueuedJobs {
+		s.mu.Unlock()
+		writeErr(w, http.StatusTooManyRequests, errors.New("job queue full"))
+		return
+	}
+	s.nextID++
+	j := &job{
+		id:     fmt.Sprintf("j%d", s.nextID),
+		key:    key,
+		spec:   spec,
+		state:  stateQueued,
+		notify: make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.active[key] = j
+	s.queued++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runJob(j)
+	writeJSON(w, http.StatusAccepted, submitResponse{JobID: j.id, Key: key, Status: string(stateQueued)})
+}
+
+// runJob executes one accepted job: wait for a concurrency permit,
+// simulate with live progress, persist and publish the result.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.active, j.key)
+		s.queued--
+		// Retention: keep the most recent finished jobs addressable by id
+		// (status/stream replay), dropping the oldest beyond the ring so a
+		// long-lived daemon's per-job state is bounded. Their results stay
+		// servable forever through the on-disk cache by key.
+		s.finished = append(s.finished, j.id)
+		for len(s.finished) > maxRetainedJobs {
+			delete(s.jobs, s.finished[0])
+			s.finished = s.finished[1:]
+		}
+		s.mu.Unlock()
+	}()
+	// Spec validation screens known-bad shapes, but the engine panics on
+	// combinations nobody has tried yet; contain those to the one job
+	// instead of killing the daemon (and every queued job) with it.
+	defer func() {
+		if r := recover(); r != nil {
+			j.fail(fmt.Errorf("job panicked: %v", r))
+		}
+	}()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	j.setState(stateRunning)
+	sums, err := experiment.RunSpecProgress(j.spec, j.appendProgress)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	s.simulated.Add(1)
+	canon, err := j.spec.CanonicalJSON()
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	res := &Result{
+		Key:           j.key,
+		CanonicalSpec: canon,
+		Seeds:         j.spec.SeedList(),
+		PerSeed:       sums,
+		Mean:          metrics.Mean(sums),
+	}
+	if err := s.writeCache(res); err != nil {
+		j.fail(fmt.Errorf("persist result: %w", err))
+		return
+	}
+	j.finish(res)
+}
+
+// jobResponse is the GET /v1/jobs/{id} reply.
+type jobResponse struct {
+	JobID  string  `json:"job_id"`
+	Key    string  `json:"key"`
+	Status string  `json:"status"`
+	Error  string  `json:"error,omitempty"`
+	Frac   float64 `json:"frac"`
+	Result *Result `json:"result,omitempty"`
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	st, events, _ := j.snapshot()
+	resp := jobResponse{JobID: j.id, Key: j.key, Status: string(st)}
+	if n := len(events); n > 0 {
+		resp.Frac = events[n-1].Frac
+	}
+	j.mu.Lock()
+	resp.Result = j.result
+	resp.Error = j.errMsg
+	j.mu.Unlock()
+	if st == stateDone {
+		resp.Frac = 1
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStream replays the job's progress history and follows it live as
+// NDJSON — one metrics.Progress per line — until the job ends. The final
+// line carries done=true and the mean summary (or the error).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		_, events, notify := j.snapshot()
+		final := false
+		for _, p := range events[sent:] {
+			if enc.Encode(p) != nil {
+				return // client went away
+			}
+			final = final || p.Done
+		}
+		sent = len(events)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if final {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if res, ok := s.readCache(key); ok {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("no cached result for %s", key))
+}
+
+func (s *Server) handlePresets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, experiment.PresetSpecs())
+}
+
+// maxRetainedJobs bounds finished jobs kept addressable in memory.
+const maxRetainedJobs = 512
+
+// cachePath maps a content address to its file; the two-character fan
+// out keeps directories small under big sweeps. Keys must be lowercase
+// hex SHA-256 — anything else (e.g. a path-traversing "..xx" from the
+// results endpoint) maps to nothing.
+func (s *Server) cachePath(key string) string {
+	if s.cfg.CacheDir == "" || !validCacheKey(key) {
+		return ""
+	}
+	return filepath.Join(s.cfg.CacheDir, key[:2], key+".json")
+}
+
+// validCacheKey reports whether key is a lowercase hex SHA-256.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) readCache(key string) (*Result, bool) {
+	path := s.cachePath(key)
+	if path == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var res Result
+	if json.Unmarshal(data, &res) != nil || res.Key != key {
+		return nil, false // corrupt entry: treat as a miss, recompute
+	}
+	return &res, true
+}
+
+// writeCache persists a result atomically (temp file + rename), so a
+// crashed write can never be read back as a (corrupt) hit.
+func (s *Server) writeCache(res *Result) error {
+	path := s.cachePath(res.Key)
+	if path == "" {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// snapshot returns the job's state, progress history and the channel that
+// closes on the next append.
+func (j *job) snapshot() (jobState, []metrics.Progress, chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.events, j.notify
+}
+
+func (j *job) setState(st jobState) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+// appendProgress publishes one progress event (called from pool workers).
+func (j *job) appendProgress(p metrics.Progress) {
+	j.mu.Lock()
+	j.events = append(j.events, p)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// finish publishes the result and the terminal progress event.
+func (j *job) finish(res *Result) {
+	mean := res.Mean
+	j.mu.Lock()
+	j.state = stateDone
+	j.result = res
+	j.events = append(j.events, metrics.Progress{
+		Seed: len(res.Seeds) - 1, Seeds: len(res.Seeds),
+		Frac: 1, Done: true, Summary: &mean,
+	})
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// fail publishes the error and the terminal progress event.
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.state = stateFailed
+	j.errMsg = err.Error()
+	j.events = append(j.events, metrics.Progress{Done: true, Error: err.Error()})
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// ListenAndServe runs the daemon on addr until ctx is cancelled, then
+// drains in-flight jobs and shuts the listener down. The bound address is
+// reported through ready (if non-nil) once the listener is up — callers
+// using ":0" learn the port. It is the one serving loop cmd/dtnd and
+// `dtnsim -serve` share.
+func ListenAndServe(ctx context.Context, addr string, cfg Config, ready func(addr string)) error {
+	s, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain: finish accepted jobs (submissions now get 503), then close
+	// idle connections and outstanding streams.
+	drainErr := s.Drain(context.Background())
+	shutErr := hs.Shutdown(context.Background())
+	if drainErr != nil {
+		return drainErr
+	}
+	return shutErr
+}

@@ -170,6 +170,17 @@ func (r *Runner) Now() float64 { return r.Clock.Now() }
 // Run advances the simulation until time end (inclusive of events at end).
 // It may be called repeatedly to extend a run.
 func (r *Runner) Run(end float64) {
+	r.RunProgress(end, 0, nil)
+}
+
+// RunProgress is Run with a progress hook: after every `every` ticks (and
+// once more on completion) hook is called with the current simulated time.
+// every <= 0 or a nil hook disables reporting. The tick loop is the same
+// code path as Run — identical floating-point time sequence, identical
+// results — so callers can stream live progress from a run that stays
+// bit-identical to an unobserved one.
+func (r *Runner) RunProgress(end float64, every int, hook func(t float64)) {
+	ticks := 0
 	for r.Clock.Now() < end {
 		next := r.Clock.Now() + r.Tick
 		if next > end {
@@ -180,5 +191,11 @@ func (r *Runner) Run(end float64) {
 		for _, tk := range r.tickers {
 			tk.Tick(next)
 		}
+		if ticks++; every > 0 && hook != nil && ticks%every == 0 {
+			hook(next)
+		}
+	}
+	if hook != nil {
+		hook(r.Clock.Now())
 	}
 }
