@@ -27,10 +27,11 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
-		cache = flag.String("cache", "dtnd-cache", "content-addressed result cache directory (empty disables)")
-		jobs  = flag.Int("jobs", 1, "jobs simulating concurrently (each job already fills all cores)")
-		queue = flag.Int("queue", 64, "max accepted-but-unfinished jobs")
+		addr     = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		cache    = flag.String("cache", "dtnd-cache", "content-addressed result cache directory (empty disables)")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "result cache size bound; oldest-mtime entries evicted past it (0 = unbounded)")
+		jobs     = flag.Int("jobs", 1, "jobs simulating concurrently (each job already fills all cores)")
+		queue    = flag.Int("queue", 64, "max accepted-but-unfinished jobs")
 	)
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dtnd: draining (signal again to force exit)")
 	}()
 
-	cfg := server.Config{CacheDir: *cache, MaxConcurrentJobs: *jobs, MaxQueuedJobs: *queue}
+	cfg := server.Config{CacheDir: *cache, MaxCacheBytes: *cacheMax, MaxConcurrentJobs: *jobs, MaxQueuedJobs: *queue}
 	err := server.ListenAndServe(ctx, *addr, cfg, func(bound string) {
 		fmt.Printf("dtnd listening on %s (cache %q)\n", bound, *cache)
 	})

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/resultcache"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		outDur = flag.Float64("duration", 10000, "simulated seconds per run")
 		shards = flag.Int("shards", 0, "per-world tick shards (0 = serial; summaries identical). The pool already fills all cores, so set this only for few huge runs")
 		sparse = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
+		cache  = flag.String("cache", "", "content-addressed result cache shared with dtnd and cmd/sweep; Figure-2 cells hit it (empty disables)")
 	)
 	flag.Parse()
 
@@ -51,11 +54,30 @@ func main() {
 	if *nodes != "" {
 		counts = parseInts(*nodes)
 	}
+	// The Figure-2 grid travels the declarative sweep path (the same
+	// expansion dtnd's /v1/sweeps uses), so its base is a spec mirroring
+	// the scenario the other figures mutate directly.
+	baseSpec := experiment.ScenarioSpec{
+		Duration:         experiment.Ptr(base.Duration),
+		Tick:             experiment.Ptr(base.Tick),
+		Shards:           experiment.Ptr(*shards),
+		SparseEstimators: experiment.Ptr(*sparse),
+		Seeds:            experiment.Seeds(*seeds),
+	}
+	var store *resultcache.Store
+	if *cache != "" {
+		st, err := resultcache.Open(*cache, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache: %v\n", err)
+			os.Exit(1)
+		}
+		store = st
+	}
 
 	start := time.Now()
 	switch *fig {
 	case "2":
-		figure2(base, counts, *seeds, *csv)
+		figure2(baseSpec, counts, *seeds, *csv, store)
 	case "3":
 		figureLambda(base, experiment.EER, "Figure 3 (EER)", counts, *seeds, *csv)
 	case "4":
@@ -67,7 +89,7 @@ func main() {
 	case "a3":
 		hysteresis(base, counts, *seeds, *csv)
 	case "all":
-		figure2(base, counts, *seeds, *csv)
+		figure2(baseSpec, counts, *seeds, *csv, store)
 		figureLambda(base, experiment.EER, "Figure 3 (EER)", counts, *seeds, *csv)
 		figureLambda(base, experiment.CR, "Figure 4 (CR)", counts, *seeds, *csv)
 		ablation(base, "Ablation A1 (TTL-aware EEV)", []experiment.Protocol{experiment.EER, experiment.EERFixedEV}, counts, *seeds, *csv)
@@ -134,17 +156,42 @@ func emit(title string, series []experiment.Series, csvPrefix, suffix string) {
 	}
 }
 
-// figure2 reproduces the six-protocol comparison. All protocols, node
-// counts and seeds run as one flattened batch over the worker pool.
-func figure2(base experiment.Scenario, counts []int, seeds int, csvPrefix string) {
-	bases := make([]experiment.Scenario, 0, len(experiment.AllPaperProtocols))
-	for _, p := range experiment.AllPaperProtocols {
-		s := base
-		s.Protocol = p
-		bases = append(bases, s)
+// figure2 reproduces the six-protocol comparison. The (protocol × nodes)
+// grid expands through experiment.SweepSpec — one code path with dtnd's
+// /v1/sweeps — so cells carry content addresses: with -cache, points any
+// prior sweep, figures run or daemon job computed are read from disk,
+// and the rest run as one flattened batch over the worker pool.
+func figure2(base experiment.ScenarioSpec, counts []int, seeds int, csvPrefix string, store *resultcache.Store) {
+	protos := make([]string, len(experiment.AllPaperProtocols))
+	for i, p := range experiment.AllPaperProtocols {
+		protos[i] = string(p)
 	}
-	fmt.Fprintf(os.Stderr, "figure 2: %d simulations on all cores...\n", len(bases)*len(counts)*seeds)
-	series := experiment.NodeSweepMulti(bases, counts, seeds)
+	sw := experiment.SweepSpec{Base: base, Protocols: protos, Nodes: counts}
+	fmt.Fprintf(os.Stderr, "figure 2: %d simulations on all cores...\n", len(protos)*len(counts)*seeds)
+	results, err := experiment.RunSweep(context.Background(), sw, store)
+	if err != nil && results == nil {
+		fmt.Fprintf(os.Stderr, "figure 2: %v\n", err)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figure 2: warning: %v\n", err) // cache write failed; results are complete
+	}
+	cached := 0
+	series := make([]experiment.Series, len(protos))
+	for i, p := range protos {
+		se := experiment.Series{Name: p}
+		for j, n := range counts {
+			res := results[i*len(counts)+j]
+			if res.Cached {
+				cached++
+			}
+			se.Points = append(se.Points, experiment.Point{X: float64(n), Summary: res.Mean})
+		}
+		series[i] = se
+	}
+	if cached > 0 {
+		fmt.Fprintf(os.Stderr, "figure 2: %d/%d cells served from cache\n", cached, len(results))
+	}
 	emit("Figure 2 — protocol comparison (λ=10)", series, csvPrefix, "2")
 }
 

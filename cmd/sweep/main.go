@@ -2,9 +2,17 @@
 // space limitation" (Section V-B): the horizon scale α, the message TTL,
 // the buffer size and the history window, each as a 1-D sweep at a fixed
 // node count.
+//
+// The sweep expands through experiment.SweepSpec — the same declarative
+// path the dtnd daemon's /v1/sweeps endpoint uses — so every cell is
+// content-addressed. Point -cache at a dtnd cache directory (or any
+// shared directory) and cells computed by a previous sweep, a figures
+// run or the daemon are read from disk instead of re-simulated, and
+// fresh cells are persisted back for them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -12,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/resultcache"
 )
 
 func main() {
@@ -24,57 +33,95 @@ func main() {
 		workers  = flag.Int("workers", 0, "cap simulation workers (0 = all cores)")
 		shards   = flag.Int("shards", 0, "per-world tick shards (0 = serial; summaries identical)")
 		sparse   = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
+		cache    = flag.String("cache", "", "content-addressed result cache directory shared with dtnd (empty disables)")
 	)
 	flag.Parse()
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
 	}
 
-	base := experiment.Default()
-	base.Protocol = experiment.Protocol(*protocol)
-	base.Nodes = *nodes
-	base.Duration = *duration
-	base.Shards = *shards
-	base.SparseEstimators = *sparse
+	base := experiment.ScenarioSpec{
+		Protocol:         experiment.Ptr(*protocol),
+		Nodes:            experiment.Ptr(*nodes),
+		Duration:         experiment.Ptr(*duration),
+		Shards:           experiment.Ptr(*shards),
+		SparseEstimators: experiment.Ptr(*sparse),
+		Seeds:            experiment.Seeds(*seeds),
+	}
 
+	sw := experiment.SweepSpec{Base: base}
 	var (
-		values []float64
-		set    func(*experiment.Scenario, float64)
+		values []float64 // table x-values (display units)
 		label  string
 	)
 	switch *param {
 	case "alpha":
 		values = []float64{0.1, 0.2, 0.28, 0.4, 0.6, 0.8, 1.0}
-		set = func(s *experiment.Scenario, v float64) { s.Alpha = v }
+		sw.Alpha = values
 		label = "alpha"
 	case "ttl":
 		values = []float64{300, 600, 1200, 2400, 3600}
-		set = func(s *experiment.Scenario, v float64) { s.TTL = v }
+		sw.TTL = values
 		label = "TTL (s)"
 	case "buffer":
 		values = []float64{128, 256, 512, 1024, 2048} // KB
-		set = func(s *experiment.Scenario, v float64) { s.BufBytes = int(v) * 1024 }
+		for _, v := range values {
+			sw.BufBytes = append(sw.BufBytes, int(v)*1024)
+		}
 		label = "buffer (KB)"
 	case "window":
 		values = []float64{4, 8, 16, 32, 64}
-		set = func(s *experiment.Scenario, v float64) { s.Window = int(v) }
+		for _, v := range values {
+			sw.Window = append(sw.Window, int(v))
+		}
 		label = "window"
 	case "lambda":
 		values = []float64{2, 4, 6, 8, 10, 12, 16}
-		set = func(s *experiment.Scenario, v float64) { s.Lambda = int(v) }
+		for _, v := range values {
+			sw.Lambda = append(sw.Lambda, int(v))
+		}
 		label = "lambda"
 	default:
 		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
 		os.Exit(2)
 	}
 
+	var store *resultcache.Store
+	if *cache != "" {
+		st, err := resultcache.Open(*cache, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cache: %v\n", err)
+			os.Exit(1)
+		}
+		store = st
+	}
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "sweep %s: %d simulations on %d workers...\n",
 		label, len(values)**seeds, runtime.GOMAXPROCS(0))
-	series := []experiment.Series{experiment.Sweep1D(*protocol, base, values, set, *seeds)}
+	results, err := experiment.RunSweep(context.Background(), sw, store)
+	if err != nil && results == nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: warning: %v\n", err) // cache write failed; results are complete
+	}
+	cached := 0
+	se := experiment.Series{Name: *protocol}
+	for i, res := range results {
+		if res.Cached {
+			cached++
+		}
+		se.Points = append(se.Points, experiment.Point{X: values[i], Summary: res.Mean})
+	}
+	if cached > 0 {
+		fmt.Fprintf(os.Stderr, "sweep %s: %d/%d cells served from cache (%s)\n", label, cached, len(results), *cache)
+	}
+
 	title := fmt.Sprintf("Sweep %s (%s, n=%d)", label, *protocol, *nodes)
 	for _, m := range experiment.PaperMetrics {
-		experiment.RenderTable(os.Stdout, title, label, series, m)
+		experiment.RenderTable(os.Stdout, title, label, []experiment.Series{se}, m)
 	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Second))
 }

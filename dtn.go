@@ -18,9 +18,12 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/resultcache"
 )
 
 // Scenario is a complete run configuration: protocol, fleet size, paper
@@ -110,6 +113,44 @@ func ParseSpec(data []byte) (ScenarioSpec, error) { return experiment.ParseSpec(
 // RunSpec resolves and executes a spec over its seed list through the
 // bounded worker pool, returning per-seed summaries.
 func RunSpec(sp ScenarioSpec) ([]Summary, error) { return experiment.RunSpec(sp) }
+
+// SweepSpec is a declarative parameter study: a base ScenarioSpec plus
+// axes (protocols, node counts and the Section V-B parameters) that
+// deterministically expand into content-addressed cells. It is the
+// payload of dtnd's /v1/sweeps endpoint and the grid form cmd/sweep and
+// cmd/figures expand through.
+type SweepSpec = experiment.SweepSpec
+
+// SweepCell is one expanded sweep point: its spec, content address and
+// axis coordinates.
+type SweepCell = experiment.SweepCell
+
+// AxisValue names one axis coordinate of a sweep cell.
+type AxisValue = experiment.AxisValue
+
+// CellResult is one cell's outcome in a sweep result table.
+type CellResult = experiment.CellResult
+
+// ResultStore is the bounded content-addressed result cache shared by
+// dtnd and the CLIs; a nil store always misses.
+type ResultStore = resultcache.Store
+
+// OpenResultStore opens (creating if needed) a result cache rooted at
+// dir; maxBytes > 0 bounds its total size with oldest-mtime eviction.
+func OpenResultStore(dir string, maxBytes int64) (*ResultStore, error) {
+	return resultcache.Open(dir, maxBytes)
+}
+
+// ParseSweepSpec decodes a JSON sweep spec strictly (unknown fields are
+// errors).
+func ParseSweepSpec(data []byte) (SweepSpec, error) { return experiment.ParseSweepSpec(data) }
+
+// RunSweep expands and executes a sweep: cells present in store are
+// served from disk, the rest run as one flattened job list over the
+// bounded pool and are persisted back. Cancel ctx to stop early.
+func RunSweep(ctx context.Context, sw SweepSpec, store *ResultStore) ([]CellResult, error) {
+	return experiment.RunSweep(ctx, sw, store)
+}
 
 // DefaultScenario returns the paper's Section V-A configuration.
 func DefaultScenario() Scenario { return experiment.Default() }

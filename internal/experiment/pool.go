@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,9 +48,30 @@ var simSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
 // indices through an atomic counter so fast workers steal remaining work.
 // Each executing job additionally holds a process-wide simSlots permit.
 func forEachJob(n int, job func(i int)) {
+	forEachJobCtx(nil, n, job)
+}
+
+// forEachJobCtx is forEachJob with cooperative cancellation: once ctx is
+// cancelled, jobs not yet started are skipped — including jobs still
+// waiting for a process-wide permit, so a cancelled sweep queued behind a
+// busy machine releases immediately instead of holding its place in line.
+// Jobs already executing are the caller's to stop (RunContext polls the
+// same ctx). A nil ctx never cancels.
+func forEachJobCtx(ctx context.Context, n int, job func(i int)) {
 	runJob := func(i int) {
-		simSlots <- struct{}{}
+		if ctx != nil {
+			select {
+			case simSlots <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+		} else {
+			simSlots <- struct{}{}
+		}
 		defer func() { <-simSlots }()
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
 		job(i)
 	}
 	workers := runtime.GOMAXPROCS(0)

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -91,6 +92,10 @@ type MapSpec struct {
 
 // ptr returns a pointer to v — spec-literal shorthand.
 func ptr[T any](v T) *T { return &v }
+
+// Ptr returns a pointer to v: shorthand for building ScenarioSpec
+// override fields (cmd/sweep and cmd/figures assemble bases with it).
+func Ptr[T any](v T) *T { return &v }
 
 // QuickSpec declares the scaled-down test scenario (Quick) as a spec.
 func QuickSpec() ScenarioSpec {
@@ -431,6 +436,16 @@ func RunSpec(sp ScenarioSpec) ([]metrics.Summary, error) {
 // aggregates completion across all seeds. Observation does not perturb the
 // run: summaries are bit-identical with and without a progress callback.
 func RunSpecProgress(sp ScenarioSpec, progress func(metrics.Progress)) ([]metrics.Summary, error) {
+	return RunSpecContext(nil, sp, progress)
+}
+
+// RunSpecContext is RunSpecProgress with cooperative cancellation: once
+// ctx is cancelled, seeds not yet started are skipped (even while waiting
+// for a pool permit) and running seeds stop after their current tick, so a
+// cancelled dtnd job stops simulating and releases its compute promptly.
+// It returns ctx.Err() on cancellation; a nil ctx never cancels, and a
+// run that completes is bit-identical to an uncancellable one.
+func RunSpecContext(ctx context.Context, sp ScenarioSpec, progress func(metrics.Progress)) ([]metrics.Summary, error) {
 	s, err := sp.Scenario()
 	if err != nil {
 		return nil, err
@@ -461,21 +476,84 @@ func RunSpecProgress(sp ScenarioSpec, progress func(metrics.Progress)) ([]metric
 		})
 	}
 
-	forEachJob(len(seeds), func(i int) {
+	forEachJobCtx(ctx, len(seeds), func(i int) {
 		sc := s
 		sc.Seed = seeds[i]
 		w, runner := sc.Build()
-		if progress == nil {
+		if progress == nil && ctx == nil {
 			runner.Run(sc.Duration)
 		} else {
-			// ~2% reporting granularity, at least every tick.
+			// ~2% reporting (and cancellation-poll) granularity, at
+			// least every tick.
 			every := int(sc.Duration / sc.Tick / 50)
 			if every < 1 {
 				every = 1
 			}
-			runner.RunProgress(sc.Duration, every, func(t float64) { emit(i, t, sc.Duration) })
+			var hook func(t float64)
+			if progress != nil {
+				hook = func(t float64) { emit(i, t, sc.Duration) }
+			}
+			if runner.RunContext(ctx, sc.Duration, every, hook) != nil {
+				return // cancelled mid-run; the ctx.Err() below reports it
+			}
 		}
 		sums[i] = w.Metrics.Summary()
 	})
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	return sums, nil
+}
+
+// RunSpecsContext resolves and executes several specs as one flattened
+// (spec, seed) job list over the shared bounded pool — the sweep
+// execution path: every cell of a parameter grid makes progress
+// concurrently instead of cell-by-cell. The per-spec, per-seed summaries
+// come back indexed [spec][seed]; every spec is validated before any
+// simulation starts. Cancellation follows RunSpecContext semantics.
+func RunSpecsContext(ctx context.Context, sps []ScenarioSpec) ([][]metrics.Summary, error) {
+	type cellJob struct {
+		scenario Scenario
+		spec     int
+		seed     int
+	}
+	var jobs []cellJob
+	out := make([][]metrics.Summary, len(sps))
+	for si, sp := range sps {
+		s, err := sp.Scenario()
+		if err != nil {
+			return nil, fmt.Errorf("spec %d: %w", si, err)
+		}
+		seeds := sp.SeedList()
+		out[si] = make([]metrics.Summary, len(seeds))
+		for i, seed := range seeds {
+			sc := s
+			sc.Seed = seed
+			jobs = append(jobs, cellJob{scenario: sc, spec: si, seed: i})
+		}
+	}
+	forEachJobCtx(ctx, len(jobs), func(i int) {
+		j := jobs[i]
+		w, runner := j.scenario.Build()
+		if ctx == nil {
+			runner.Run(j.scenario.Duration)
+		} else {
+			every := int(j.scenario.Duration / j.scenario.Tick / 50)
+			if every < 1 {
+				every = 1
+			}
+			if runner.RunContext(ctx, j.scenario.Duration, every, nil) != nil {
+				return
+			}
+		}
+		out[j.spec][j.seed] = w.Metrics.Summary()
+	})
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

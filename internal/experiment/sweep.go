@@ -1,0 +1,240 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/resultcache"
+)
+
+// This file makes parameter studies first-class: a SweepSpec is a base
+// ScenarioSpec plus axes — the protocol and node-count grid of Figure 2
+// and the Section V-B parameters (alpha, ttl, buffer, window, lambda) —
+// that deterministically expands into a list of canonical cell specs,
+// each with its own content address. A sweep is therefore "a set of
+// cells, most of which may already be cached": cmd/sweep, cmd/figures
+// and the dtnd /v1/sweeps endpoint all expand through Cells(), so a cell
+// computed by any of them is a cache hit for all of them.
+
+// SweepSpec is a declarative parameter study: one base job plus up to
+// seven axes. Empty axes contribute nothing; non-empty axes cross-multiply
+// in the fixed order protocols → nodes → alpha → ttl → buf_bytes →
+// window → lambda (outermost first), which fixes both cell order and the
+// per-cell axis labels. The base's own field values (and seed list) apply
+// to every cell that no axis overrides.
+type SweepSpec struct {
+	Base ScenarioSpec `json:"base"`
+
+	Protocols []string  `json:"protocols,omitempty"`
+	Nodes     []int     `json:"nodes,omitempty"`
+	Alpha     []float64 `json:"alpha,omitempty"`
+	TTL       []float64 `json:"ttl,omitempty"`
+	BufBytes  []int     `json:"buf_bytes,omitempty"`
+	Window    []int     `json:"window,omitempty"`
+	Lambda    []int     `json:"lambda,omitempty"`
+}
+
+// AxisValue names one axis coordinate of a sweep cell, e.g.
+// {Axis: "protocol", Value: "EER"}. Values are rendered the way the
+// sweep tables print them (integers without a decimal point).
+type AxisValue struct {
+	Axis  string `json:"axis"`
+	Value string `json:"value"`
+}
+
+// SweepCell is one expanded point of a sweep: its full scenario spec, the
+// content address of its result, and the axis coordinates that produced
+// it (in expansion-axis order) — the key of the sweep's result table.
+type SweepCell struct {
+	Spec ScenarioSpec `json:"spec"`
+	Key  string       `json:"key"`
+	Axes []AxisValue  `json:"axes"`
+}
+
+// maxSweepCells bounds one sweep's expansion. Like the per-job resource
+// ceilings, it is a service bound: far beyond any paper grid (Figure 2 is
+// 36 cells), small enough that expansion and per-cell bookkeeping stay
+// trivially cheap.
+const maxSweepCells = 4096
+
+// axis is one expansion dimension: its label, its value count and a
+// setter applying value i onto a cell spec.
+type axis struct {
+	name  string
+	n     int
+	value func(i int) string
+	apply func(sp *ScenarioSpec, i int)
+}
+
+// axes lists the sweep's non-empty dimensions in canonical order.
+func (sw SweepSpec) axes() []axis {
+	var out []axis
+	add := func(name string, n int, value func(int) string, apply func(*ScenarioSpec, int)) {
+		if n > 0 {
+			out = append(out, axis{name: name, n: n, value: value, apply: apply})
+		}
+	}
+	add("protocol", len(sw.Protocols),
+		func(i int) string { return sw.Protocols[i] },
+		func(sp *ScenarioSpec, i int) { sp.Protocol = ptr(sw.Protocols[i]) })
+	add("nodes", len(sw.Nodes),
+		func(i int) string { return strconv.Itoa(sw.Nodes[i]) },
+		func(sp *ScenarioSpec, i int) { sp.Nodes = ptr(sw.Nodes[i]) })
+	add("alpha", len(sw.Alpha),
+		func(i int) string { return trimFloat(sw.Alpha[i]) },
+		func(sp *ScenarioSpec, i int) { sp.Alpha = ptr(sw.Alpha[i]) })
+	add("ttl", len(sw.TTL),
+		func(i int) string { return trimFloat(sw.TTL[i]) },
+		func(sp *ScenarioSpec, i int) { sp.TTL = ptr(sw.TTL[i]) })
+	add("buf_bytes", len(sw.BufBytes),
+		func(i int) string { return strconv.Itoa(sw.BufBytes[i]) },
+		func(sp *ScenarioSpec, i int) { sp.BufBytes = ptr(sw.BufBytes[i]) })
+	add("window", len(sw.Window),
+		func(i int) string { return strconv.Itoa(sw.Window[i]) },
+		func(sp *ScenarioSpec, i int) { sp.Window = ptr(sw.Window[i]) })
+	add("lambda", len(sw.Lambda),
+		func(i int) string { return strconv.Itoa(sw.Lambda[i]) },
+		func(sp *ScenarioSpec, i int) { sp.Lambda = ptr(sw.Lambda[i]) })
+	return out
+}
+
+// Cells expands the sweep into its cell list: the cross product of every
+// non-empty axis over the base spec, in canonical order, each cell
+// resolved, validated and content-addressed. An empty sweep (no axes) is
+// the base job as a single cell. Expansion is deterministic: the same
+// SweepSpec always yields the same cells with the same keys, no matter
+// which process (CLI or daemon) expands it.
+func (sw SweepSpec) Cells() ([]SweepCell, error) {
+	axes := sw.axes()
+	total := 1
+	for _, ax := range axes {
+		// Check per factor, so a pathological axis list cannot overflow
+		// the product past the guard.
+		if total *= ax.n; total > maxSweepCells {
+			return nil, fmt.Errorf("sweep expands to over %d cells, limit %d", total, maxSweepCells)
+		}
+	}
+	cells := make([]SweepCell, 0, total)
+	idx := make([]int, len(axes))
+	for {
+		sp := sw.Base
+		av := make([]AxisValue, len(axes))
+		for a, ax := range axes {
+			ax.apply(&sp, idx[a])
+			av[a] = AxisValue{Axis: ax.name, Value: ax.value(idx[a])}
+		}
+		key, err := sp.CacheKey() // resolves and validates the cell
+		if err != nil {
+			return nil, fmt.Errorf("sweep cell %v: %w", av, err)
+		}
+		cells = append(cells, SweepCell{Spec: sp, Key: key, Axes: av})
+		// Odometer increment, innermost (last) axis fastest.
+		a := len(axes) - 1
+		for ; a >= 0; a-- {
+			if idx[a]++; idx[a] < axes[a].n {
+				break
+			}
+			idx[a] = 0
+		}
+		if a < 0 {
+			return cells, nil
+		}
+	}
+}
+
+// ParseSweepSpec decodes a JSON sweep spec strictly (unknown fields are
+// errors), mirroring ParseSpec.
+func ParseSweepSpec(data []byte) (SweepSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sw SweepSpec
+	if err := dec.Decode(&sw); err != nil {
+		return SweepSpec{}, fmt.Errorf("bad sweep spec: %w", err)
+	}
+	return sw, nil
+}
+
+// CellResult is one cell's outcome in a sweep result table.
+type CellResult struct {
+	Cell    SweepCell
+	Cached  bool // served from the store, no simulation
+	PerSeed []metrics.Summary
+	Mean    metrics.Summary
+}
+
+// CellResultOf packages a cell's per-seed summaries as the store's
+// Result record — the one serialization the daemon and the CLIs share.
+func CellResultOf(cell SweepCell, perSeed []metrics.Summary) (*resultcache.Result, error) {
+	canon, err := cell.Spec.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	return &resultcache.Result{
+		Key:           cell.Key,
+		CanonicalSpec: canon,
+		Seeds:         cell.Spec.SeedList(),
+		PerSeed:       perSeed,
+		Mean:          metrics.Mean(perSeed),
+	}, nil
+}
+
+// RunSweep expands and executes a sweep: cells found in store are served
+// from disk, the rest run as one flattened (cell, seed) job list on the
+// shared pool and are persisted back. Cells sharing a content address
+// (an axis repeating a value, or overriding the base to itself)
+// simulate once and share their summaries, matching the daemon's
+// coalescing. A nil store disables caching. Results come back in cell
+// order. When every simulation succeeded but a cache write failed, the
+// full results are returned alongside the write error — callers may
+// report and keep the summaries.
+func RunSweep(ctx context.Context, sw SweepSpec, store *resultcache.Store) ([]CellResult, error) {
+	cells, err := sw.Cells()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CellResult, len(cells))
+	var todo []int              // cell indices that must simulate
+	primary := map[string]int{} // first uncached cell index per key
+	dupOf := map[int]int{}      // duplicate-key cell index -> primary index
+	for i, c := range cells {
+		if res, ok := store.Get(c.Key); ok && len(res.PerSeed) == len(c.Spec.SeedList()) {
+			out[i] = CellResult{Cell: c, Cached: true, PerSeed: res.PerSeed, Mean: res.Mean}
+			continue
+		}
+		if p, ok := primary[c.Key]; ok {
+			dupOf[i] = p
+			continue
+		}
+		primary[c.Key] = i
+		todo = append(todo, i)
+	}
+	var putErr error
+	if len(todo) > 0 {
+		specs := make([]ScenarioSpec, len(todo))
+		for k, i := range todo {
+			specs[k] = cells[i].Spec
+		}
+		perSpec, err := RunSpecsContext(ctx, specs)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range todo {
+			out[i] = CellResult{Cell: cells[i], PerSeed: perSpec[k], Mean: metrics.Mean(perSpec[k])}
+			res, err := CellResultOf(cells[i], perSpec[k])
+			if err == nil {
+				err = store.Put(res)
+			}
+			if err != nil && putErr == nil {
+				putErr = fmt.Errorf("cache cell %s: %w", cells[i].Key[:12], err)
+			}
+		}
+	}
+	for i, p := range dupOf {
+		out[i] = CellResult{Cell: cells[i], PerSeed: out[p].PerSeed, Mean: out[p].Mean}
+	}
+	return out, putErr
+}

@@ -1,0 +1,236 @@
+package experiment
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/resultcache"
+)
+
+// sweepTestBase is a small, fast cell base shared by the sweep tests:
+// resolved through the same spec path dtnd submissions use.
+func sweepTestBase(seeds []int64) ScenarioSpec {
+	return ScenarioSpec{
+		Preset:   "quick",
+		Protocol: ptr(string(EER)),
+		Nodes:    ptr(16),
+		Duration: ptr(400.0),
+		Seeds:    seeds,
+	}
+}
+
+func TestSweepExpansionOrderAndAxes(t *testing.T) {
+	sw := SweepSpec{
+		Base:      sweepTestBase(nil),
+		Protocols: []string{"EER", "CR"},
+		Nodes:     []int{20, 40, 60},
+		Alpha:     []float64{0.2, 0.8},
+	}
+	cells, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*3*2 {
+		t.Fatalf("expanded to %d cells, want 12", len(cells))
+	}
+	// Canonical order: protocol outermost, then nodes, then alpha.
+	want := [][3]string{
+		{"EER", "20", "0.2"}, {"EER", "20", "0.8"},
+		{"EER", "40", "0.2"}, {"EER", "40", "0.8"},
+		{"EER", "60", "0.2"}, {"EER", "60", "0.8"},
+		{"CR", "20", "0.2"}, {"CR", "20", "0.8"},
+		{"CR", "40", "0.2"}, {"CR", "40", "0.8"},
+		{"CR", "60", "0.2"}, {"CR", "60", "0.8"},
+	}
+	keys := map[string]bool{}
+	for i, c := range cells {
+		if len(c.Axes) != 3 {
+			t.Fatalf("cell %d has %d axes", i, len(c.Axes))
+		}
+		got := [3]string{c.Axes[0].Value, c.Axes[1].Value, c.Axes[2].Value}
+		if got != want[i] {
+			t.Errorf("cell %d axes = %v, want %v", i, got, want[i])
+		}
+		if c.Axes[0].Axis != "protocol" || c.Axes[1].Axis != "nodes" || c.Axes[2].Axis != "alpha" {
+			t.Errorf("cell %d axis names %v", i, c.Axes)
+		}
+		if keys[c.Key] {
+			t.Errorf("cell %d repeats key %s", i, c.Key)
+		}
+		keys[c.Key] = true
+		// The cell's key is the same content address a direct job
+		// submission of the cell spec would compute — what makes CLI
+		// sweeps, daemon sweeps and single jobs share cache entries.
+		if k, err := c.Spec.CacheKey(); err != nil || k != c.Key {
+			t.Errorf("cell %d key %s != spec key %s (%v)", i, c.Key, k, err)
+		}
+		// Axis overrides landed on the spec.
+		if *c.Spec.Protocol != want[i][0] {
+			t.Errorf("cell %d protocol %s", i, *c.Spec.Protocol)
+		}
+	}
+	// Expansion is deterministic: a second expansion is identical.
+	again, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i].Key != again[i].Key {
+			t.Fatalf("expansion not deterministic at cell %d", i)
+		}
+	}
+}
+
+func TestSweepExpansionEmptyAxesIsBase(t *testing.T) {
+	sw := SweepSpec{Base: sweepTestBase(nil)}
+	cells, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || len(cells[0].Axes) != 0 {
+		t.Fatalf("axis-free sweep expanded to %+v", cells)
+	}
+	baseKey, err := sw.Base.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Key != baseKey {
+		t.Error("axis-free cell key differs from base key")
+	}
+}
+
+func TestSweepExpansionRejectsBadCellsAndBlowups(t *testing.T) {
+	sw := SweepSpec{Base: sweepTestBase(nil), Protocols: []string{"EER", "NoSuchProtocol"}}
+	if _, err := sw.Cells(); err == nil {
+		t.Error("unknown protocol cell accepted")
+	}
+	big := SweepSpec{Base: sweepTestBase(nil)}
+	for i := 0; i < 100; i++ {
+		big.Nodes = append(big.Nodes, 10+i)
+		big.Lambda = append(big.Lambda, 1+i)
+	}
+	if _, err := big.Cells(); err == nil {
+		t.Error("10000-cell sweep accepted over the cell limit")
+	}
+}
+
+func TestParseSweepSpecStrict(t *testing.T) {
+	if _, err := ParseSweepSpec([]byte(`{"base": {"preset": "quick"}, "protocls": ["EER"]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	sw, err := ParseSweepSpec([]byte(`{"base": {"preset": "quick"}, "alpha": [0.2, 0.4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Alpha) != 2 || sw.Base.Preset != "quick" {
+		t.Fatalf("parsed %+v", sw)
+	}
+}
+
+// TestRunSweepMatchesSweep1D pins the acceptance criterion: the sweep
+// path produces bit-identical summaries to the pre-refactor per-cell
+// path (Sweep1D over expand/RunBatch/meanGroups).
+func TestRunSweepMatchesSweep1D(t *testing.T) {
+	values := []float64{0.2, 0.6}
+	const nSeeds = 2
+
+	base := sweepTestBase(Seeds(nSeeds))
+	sw := SweepSpec{Base: base, Alpha: values}
+	results, err := RunSweep(nil, sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scenario, err := sweepTestBase(nil).Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := Sweep1D("EER", scenario, values, func(s *Scenario, v float64) { s.Alpha = v }, nSeeds)
+
+	if len(results) != len(series.Points) {
+		t.Fatalf("%d cells vs %d points", len(results), len(series.Points))
+	}
+	for i := range results {
+		if results[i].Mean != series.Points[i].Summary {
+			t.Errorf("alpha=%g diverged:\n  sweep   %+v\n  legacy  %+v",
+				values[i], results[i].Mean, series.Points[i].Summary)
+		}
+		if results[i].Cached {
+			t.Errorf("alpha=%g claims cached without a store", values[i])
+		}
+	}
+}
+
+// TestRunSweepCacheReuse: a repeated sweep over the same store simulates
+// nothing and returns identical summaries; an overlapping sweep only
+// simulates its new cells.
+func TestRunSweepCacheReuse(t *testing.T) {
+	store, err := resultcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sweepTestBase(Seeds(2))
+	first, err := RunSweep(nil, SweepSpec{Base: base, Alpha: []float64{0.2, 0.6}}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunSweep(nil, SweepSpec{Base: base, Alpha: []float64{0.2, 0.6}}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Errorf("cell %d not served from cache on resubmission", i)
+		}
+		if second[i].Mean != first[i].Mean {
+			t.Errorf("cell %d cached mean diverged", i)
+		}
+		if len(second[i].PerSeed) != len(first[i].PerSeed) {
+			t.Errorf("cell %d per-seed shape changed", i)
+		}
+	}
+	// Overlap: one old alpha, one new — only the new cell simulates.
+	third, err := RunSweep(nil, SweepSpec{Base: base, Alpha: []float64{0.6, 0.9}}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third[0].Cached {
+		t.Error("overlapping cell re-simulated")
+	}
+	if third[1].Cached {
+		t.Error("new cell claims cached")
+	}
+	if third[0].Mean != first[1].Mean {
+		t.Error("overlapping cell mean diverged")
+	}
+}
+
+func TestRunSpecsContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunSpecsContext(ctx, []ScenarioSpec{sweepTestBase(Seeds(2))})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled run still took %v", elapsed)
+	}
+}
+
+// TestRunSpecContextCancelMidRun: cancelling during a run stops the
+// remaining simulation work and reports context.Canceled.
+func TestRunSpecContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	_, err := RunSpecContext(ctx, sweepTestBase(Seeds(2)), func(metrics.Progress) {
+		once.Do(cancel) // cancel on the first progress event
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package resultcache is the content-addressed result store shared by the
+// dtnd daemon and the sweep/figures CLIs: simulation summaries keyed by
+// the SHA-256 of their canonicalized scenario spec, persisted as JSON
+// files with atomic writes, an optional total-size bound with
+// oldest-mtime eviction, and read-side mtime touching so entries a
+// repeated sweep keeps hitting stay resident. Because the key is derived
+// from the resolved job (experiment.ScenarioSpec.CacheKey), any process
+// pointing at the same directory — a daemon, a CLI sweep, a CI smoke run
+// — reuses every cell any of the others already computed.
+package resultcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Result is the persisted outcome of one simulation job — the value a
+// content address resolves to. CanonicalSpec echoes the exact resolved
+// scenario the key was derived from, so a cached result is
+// self-describing.
+type Result struct {
+	Key           string            `json:"key"`
+	CanonicalSpec json.RawMessage   `json:"canonical_spec"`
+	Seeds         []int64           `json:"seeds"`
+	PerSeed       []metrics.Summary `json:"per_seed"`
+	Mean          metrics.Summary   `json:"mean"`
+}
+
+// Store is a bounded on-disk result cache rooted at one directory. A nil
+// Store is valid and always misses — callers need no "is caching on"
+// branches.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	// mu serializes eviction sweeps (concurrent Puts would double-count
+	// sizes and race removals); reads are lock-free.
+	mu sync.Mutex
+	// curBytes approximates the store's total size: exact after every
+	// directory scan, incremented per write in between, so a Put under
+	// the bound costs no I/O beyond its own file. External writers
+	// sharing the directory are picked up at the next scan.
+	curBytes int64
+	scanned  bool
+}
+
+// Open returns a store rooted at dir, creating it if needed. maxBytes
+// bounds the total size of cached entries (0 = unbounded): after every
+// write, oldest-mtime entries are evicted until the total fits again.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Store{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// path maps a content address to its file; the two-character fan out
+// keeps directories small under big sweeps. Keys must be lowercase hex
+// SHA-256 — anything else (e.g. a path-traversing "..xx" from a results
+// endpoint) maps to nothing.
+func (st *Store) path(key string) string {
+	if st == nil || !ValidKey(key) {
+		return ""
+	}
+	return filepath.Join(st.dir, key[:2], key+".json")
+}
+
+// ValidKey reports whether key is a lowercase hex SHA-256.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the cached result for key, if present and intact. A hit
+// touches the entry's mtime, so results a repeated sweep keeps reusing
+// stay at the young end of the eviction order.
+func (st *Store) Get(key string) (*Result, bool) {
+	path := st.path(key)
+	if path == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var res Result
+	if json.Unmarshal(data, &res) != nil || res.Key != key {
+		return nil, false // corrupt entry: treat as a miss, recompute
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort LRU touch
+	return &res, true
+}
+
+// Put persists a result atomically (temp file + rename, so a crashed
+// write can never be read back as a corrupt hit), then enforces the size
+// bound. A nil store discards silently.
+func (st *Store) Put(res *Result) error {
+	path := st.path(res.Key)
+	if path == "" {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if st.maxBytes > 0 {
+		st.mu.Lock()
+		st.curBytes += int64(len(data)) + 1
+		// Scan and evict only when the (approximate) total crosses the
+		// bound — steady-state Puts under it never walk the directory.
+		if !st.scanned || st.curBytes > st.maxBytes {
+			st.evictLocked(path)
+		}
+		st.mu.Unlock()
+	}
+	return nil
+}
+
+// evictLocked rescans the store and removes oldest-mtime entries until
+// the total fits the bound, with slack: eviction drives the total down
+// to ~90% of maxBytes, so a burst of writes triggers one scan per ~10%
+// of the budget instead of one per Put. The entry just written (keep)
+// is exempt — a Put can never evict its own result, the caller was
+// promised the cache holds it. In-flight temp files of concurrent Puts
+// are never touched (removing one would fail that Put's rename); a
+// crashed write's leftover temp file is reclaimed once it is a day old.
+// st.mu must be held.
+func (st *Store) evictLocked(keep string) {
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	filepath.WalkDir(st.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), "tmp-") {
+			if time.Since(info.ModTime()) > 24*time.Hour {
+				os.Remove(path) // orphan from a crashed write
+			}
+			return nil
+		}
+		entries = append(entries, entry{path: path, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	st.scanned = true
+	defer func() { st.curBytes = total }()
+	if total <= st.maxBytes {
+		return
+	}
+	lowWater := st.maxBytes - st.maxBytes/10
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path // stable order at equal mtimes
+	})
+	for _, e := range entries {
+		if total <= lowWater {
+			return
+		}
+		if e.path == keep {
+			continue
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// keyOf derives a distinct valid content address per index.
+func keyOf(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("cell-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func resultOf(i int) *Result {
+	return &Result{
+		Key:     keyOf(i),
+		Seeds:   []int64{1},
+		PerSeed: []metrics.Summary{{Generated: i}},
+		Mean:    metrics.Summary{Generated: i},
+	}
+}
+
+// entrySize measures one persisted entry, so eviction tests can pick
+// byte bounds in units of entries instead of guessing JSON sizes.
+func entrySize(t *testing.T) int64 {
+	t.Helper()
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(resultOf(0)); err != nil {
+		t.Fatal(err)
+	}
+	var size int64
+	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			if info, err := d.Info(); err == nil {
+				size = info.Size()
+			}
+		}
+		return nil
+	})
+	if size == 0 {
+		t.Fatal("no entry written")
+	}
+	return size
+}
+
+func TestRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(keyOf(1)); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := st.Put(resultOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(keyOf(1))
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Mean != resultOf(1).Mean || got.Key != keyOf(1) {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+}
+
+func TestNilStoreMisses(t *testing.T) {
+	var st *Store
+	if _, ok := st.Get(keyOf(1)); ok {
+		t.Fatal("nil store hit")
+	}
+	if err := st.Put(resultOf(1)); err != nil {
+		t.Fatalf("nil store Put: %v", err)
+	}
+}
+
+func TestCorruptEntryIsMiss(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(resultOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(keyOf(1))
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(keyOf(1)); ok {
+		t.Fatal("corrupt entry served as hit")
+	}
+	// An entry whose body names a different key (tampered or misplaced)
+	// is also a miss.
+	wrong := resultOf(2)
+	if err := st.Put(wrong); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(st.path(keyOf(2)))
+	os.MkdirAll(filepath.Dir(st.path(keyOf(3))), 0o755)
+	os.WriteFile(st.path(keyOf(3)), data, 0o644)
+	if _, ok := st.Get(keyOf(3)); ok {
+		t.Fatal("key-mismatched entry served as hit")
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	if !ValidKey(keyOf(0)) {
+		t.Fatal("real key rejected")
+	}
+	for _, bad := range []string{"", "abc", "../../../../etc/passwd", keyOf(0)[:63] + "Z", keyOf(0) + "a"} {
+		if ValidKey(bad) {
+			t.Errorf("key %q accepted", bad)
+		}
+	}
+}
+
+// TestEvictionBound: the store never exceeds its byte bound (beyond the
+// just-written entry), and evicts oldest-mtime first.
+func TestEvictionBound(t *testing.T) {
+	size := entrySize(t)
+	st, err := Open(t.TempDir(), 3*size+size/2) // room for 3 entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := st.Put(resultOf(i)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond) // distinct mtimes
+	}
+	var total int64
+	count := 0
+	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			info, _ := d.Info()
+			total += info.Size()
+			count++
+		}
+		return nil
+	})
+	if total > 3*size+size/2 {
+		t.Errorf("cache holds %d bytes, bound %d", total, 3*size+size/2)
+	}
+	if count != 3 {
+		t.Errorf("cache holds %d entries, want 3", count)
+	}
+	// Oldest were evicted, newest survive.
+	for i := 0; i < 3; i++ {
+		if _, ok := st.Get(keyOf(i)); ok {
+			t.Errorf("entry %d should have been evicted", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if _, ok := st.Get(keyOf(i)); !ok {
+			t.Errorf("entry %d evicted too early", i)
+		}
+	}
+}
+
+// TestEvictionSparesReadEntries: a cache hit touches the entry's mtime,
+// so the cells a repeated sweep keeps reusing are evicted last.
+func TestEvictionSparesReadEntries(t *testing.T) {
+	size := entrySize(t)
+	st, err := Open(t.TempDir(), 2*size+size/2) // room for 2 entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(resultOf(0)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := st.Put(resultOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := st.Get(keyOf(0)); !ok { // touch 0: now younger than 1
+		t.Fatal("miss on entry 0")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := st.Put(resultOf(2)); err != nil { // forces one eviction
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(keyOf(0)); !ok {
+		t.Error("recently-read entry 0 was evicted")
+	}
+	if _, ok := st.Get(keyOf(1)); ok {
+		t.Error("stale entry 1 survived over read entry 0")
+	}
+	if _, ok := st.Get(keyOf(2)); !ok {
+		t.Error("just-written entry 2 missing")
+	}
+}
+
+// TestPutNeverEvictsItself: even when one entry exceeds the whole bound,
+// the entry just written survives its own eviction pass.
+func TestPutNeverEvictsItself(t *testing.T) {
+	st, err := Open(t.TempDir(), 1) // absurd bound: smaller than any entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(resultOf(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(keyOf(0)); !ok {
+		t.Fatal("freshly-written entry evicted by its own Put")
+	}
+	// The next Put displaces it.
+	time.Sleep(5 * time.Millisecond)
+	if err := st.Put(resultOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(keyOf(0)); ok {
+		t.Error("old entry survived a bound of 1 byte")
+	}
+	if _, ok := st.Get(keyOf(1)); !ok {
+		t.Error("new entry evicted by its own Put")
+	}
+}

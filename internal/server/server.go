@@ -1,19 +1,25 @@
 // Package server implements dtnd, the long-running simulation service: an
 // HTTP/JSON daemon that accepts declarative scenario specs
-// (experiment.ScenarioSpec), runs them as jobs on the shared
+// (experiment.ScenarioSpec) and whole parameter studies
+// (experiment.SweepSpec), runs them as jobs on the shared
 // GOMAXPROCS-bounded experiment pool, streams live progress as NDJSON and
 // serves results from a content-addressed cache — the hash of the
 // canonicalized spec addresses its summary on disk, so resubmitting a
-// sweep point costs one file read instead of a simulation.
+// sweep cell costs one file read instead of a simulation.
 //
-// API (see DESIGN.md "Simulation service"):
+// API (see DESIGN.md "Simulation service" and "Sweep jobs & cancellation"):
 //
-//	POST /v1/jobs           submit a spec; returns job id or cached result
-//	GET  /v1/jobs/{id}        job status (+ result when done)
-//	GET  /v1/jobs/{id}/stream live NDJSON progress until the job ends
-//	GET  /v1/results/{key}    cached result by content address
-//	GET  /v1/presets          the named base specs
-//	GET  /healthz             liveness
+//	POST   /v1/jobs             submit a spec; returns job id or cached result
+//	GET    /v1/jobs/{id}        job status (+ result when done)
+//	GET    /v1/jobs/{id}/stream live NDJSON progress until the job ends
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/sweeps           submit a sweep; cells reuse the cell cache
+//	GET    /v1/sweeps/{id}        sweep status + per-cell result table
+//	GET    /v1/sweeps/{id}/stream live NDJSON aggregate progress
+//	DELETE /v1/sweeps/{id}        cancel the sweep's remaining cells
+//	GET    /v1/results/{key}    cached result by content address
+//	GET    /v1/presets          the named base specs
+//	GET    /healthz             liveness
 package server
 
 import (
@@ -24,13 +30,12 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/resultcache"
 )
 
 // Config parameterises the daemon.
@@ -38,13 +43,20 @@ type Config struct {
 	// CacheDir is the content-addressed result store. Empty disables
 	// persistent caching (every submission simulates).
 	CacheDir string
+	// MaxCacheBytes bounds the result store's total size (0 = unbounded):
+	// after every write, oldest-mtime entries are evicted until the total
+	// fits, and cache hits touch their entry's mtime, so the cells a
+	// repeated sweep keeps reusing stay resident.
+	MaxCacheBytes int64
 	// MaxConcurrentJobs bounds jobs simulating at once (default 1). Each
 	// job already fans its seeds out over the shared GOMAXPROCS-bounded
 	// pool, so one job saturates the machine; raise this only to
 	// interleave many small jobs.
 	MaxConcurrentJobs int
 	// MaxQueuedJobs bounds accepted-but-not-finished jobs (default 64);
-	// beyond it submissions are refused with 429.
+	// beyond it submissions are refused with 429. Sweep cells count
+	// individually: a sweep whose uncached cells would not fit is refused
+	// whole.
 	MaxQueuedJobs int
 }
 
@@ -52,19 +64,36 @@ type Config struct {
 type jobState string
 
 const (
-	stateQueued  jobState = "queued"
-	stateRunning jobState = "running"
-	stateDone    jobState = "done"
-	stateFailed  jobState = "failed"
+	stateQueued    jobState = "queued"
+	stateRunning   jobState = "running"
+	stateDone      jobState = "done"
+	stateFailed    jobState = "failed"
+	stateCancelled jobState = "cancelled"
 )
+
+// terminalState reports whether st is a final lifecycle state.
+func terminalState(st jobState) bool {
+	return st == stateDone || st == stateFailed || st == stateCancelled
+}
 
 // job is one accepted submission. Progress events accumulate under mu;
 // notify is closed and replaced on every append, so any number of
 // streaming subscribers replay the history and then follow live.
+// Subscribed callbacks (sweeps aggregating their cells) receive each
+// event after the append, outside mu.
 type job struct {
-	id   string
-	key  string
-	spec experiment.ScenarioSpec
+	id     string
+	key    string
+	spec   experiment.ScenarioSpec
+	ctx    context.Context // cancelled to stop the job
+	cancel context.CancelFunc
+
+	// holders counts submissions referencing this job — the direct POST
+	// or owning sweep plus every coalesced attach — and is guarded by
+	// Server.mu. Sweep cancellation releases one hold and only cancels
+	// the job when none remain; DELETE /v1/jobs/{id} is an explicit
+	// operator action and cancels unconditionally.
+	holders int
 
 	mu     sync.Mutex
 	state  jobState
@@ -72,31 +101,29 @@ type job struct {
 	notify chan struct{}
 	result *Result
 	errMsg string
+	subs   []func(metrics.Progress)
 }
 
 // Result is the persisted outcome of a job — the value the content
-// address resolves to. CanonicalSpec echoes the exact resolved scenario
-// the key was derived from, so a cached result is self-describing.
-type Result struct {
-	Key           string            `json:"key"`
-	CanonicalSpec json.RawMessage   `json:"canonical_spec"`
-	Seeds         []int64           `json:"seeds"`
-	PerSeed       []metrics.Summary `json:"per_seed"`
-	Mean          metrics.Summary   `json:"mean"`
-}
+// address resolves to (resultcache.Result; the store is shared with the
+// sweep/figures CLIs, so cells computed on either side serve the other).
+type Result = resultcache.Result
 
 // Server is the dtnd daemon state. Create with New; serve Handler().
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	mux   *http.ServeMux
+	store *resultcache.Store // nil when caching is disabled
 
-	mu       sync.Mutex
-	jobs     map[string]*job // by job id
-	active   map[string]*job // queued/running jobs by cache key (dedupe)
-	finished []string        // finished job ids, completion order (retention ring)
-	nextID   int
-	queued   int
-	draining bool
+	mu        sync.Mutex
+	jobs      map[string]*job // by job id
+	active    map[string]*job // queued/running jobs by cache key (dedupe)
+	finished  []string        // finished job ids, completion order (retention ring)
+	sweeps    map[string]*sweepJob
+	sweepRing []string // sweep ids, creation order (retention ring)
+	nextID    int
+	queued    int
+	draining  bool
 
 	sem       chan struct{}  // MaxConcurrentJobs permits
 	wg        sync.WaitGroup // accepted jobs not yet finished
@@ -111,21 +138,29 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxQueuedJobs <= 0 {
 		cfg.MaxQueuedJobs = 64
 	}
-	if cfg.CacheDir != "" {
-		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
-			return nil, fmt.Errorf("server: cache dir: %w", err)
-		}
-	}
 	s := &Server{
 		cfg:    cfg,
 		jobs:   make(map[string]*job),
 		active: make(map[string]*job),
+		sweeps: make(map[string]*sweepJob),
 		sem:    make(chan struct{}, cfg.MaxConcurrentJobs),
+	}
+	if cfg.CacheDir != "" {
+		st, err := resultcache.Open(cfg.CacheDir, cfg.MaxCacheBytes)
+		if err != nil {
+			return nil, fmt.Errorf("server: cache dir: %w", err)
+		}
+		s.store = st
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleSweepStream)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -190,7 +225,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Content-addressed fast path: an identical resolved job was already
 	// computed — serve the summary from disk, no simulation.
-	if res, ok := s.readCache(key); ok {
+	if res, ok := s.store.Get(key); ok {
 		writeJSON(w, http.StatusOK, submitResponse{Key: key, Status: string(stateDone), Cached: true, Result: res})
 		return
 	}
@@ -201,9 +236,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, errors.New("server draining, not accepting jobs"))
 		return
 	}
-	// Coalesce with an in-flight identical job.
-	if j := s.active[key]; j != nil {
-		st, _, _ := j.snapshot()
+	// Coalesce with an in-flight identical job — unless it has been
+	// cancelled: attaching to a job that will never produce a result
+	// would silently swallow this submission, so a fresh job queues
+	// instead (newJobLocked replaces the cancelled job's active entry).
+	if j := s.active[key]; j != nil && j.ctx.Err() == nil {
+		j.holders++
+		st := j.snapshot().state
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, submitResponse{JobID: j.id, Key: key, Status: string(st)})
 		return
@@ -213,31 +252,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, errors.New("job queue full"))
 		return
 	}
-	s.nextID++
-	j := &job{
-		id:     fmt.Sprintf("j%d", s.nextID),
-		key:    key,
-		spec:   spec,
-		state:  stateQueued,
-		notify: make(chan struct{}),
-	}
-	s.jobs[j.id] = j
-	s.active[key] = j
-	s.queued++
-	s.wg.Add(1)
+	j := s.newJobLocked(key, spec)
 	s.mu.Unlock()
 
 	go s.runJob(j)
 	writeJSON(w, http.StatusAccepted, submitResponse{JobID: j.id, Key: key, Status: string(stateQueued)})
 }
 
-// runJob executes one accepted job: wait for a concurrency permit,
-// simulate with live progress, persist and publish the result.
+// newJobLocked creates and registers a queued job (s.mu must be held).
+// The caller starts runJob after releasing the lock.
+func (s *Server) newJobLocked(key string, spec experiment.ScenarioSpec) *job {
+	s.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:      fmt.Sprintf("j%d", s.nextID),
+		key:     key,
+		spec:    spec,
+		ctx:     ctx,
+		cancel:  cancel,
+		holders: 1,
+		state:   stateQueued,
+		notify:  make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.active[key] = j
+	s.queued++
+	s.wg.Add(1)
+	return j
+}
+
+// runJob executes one accepted job: wait for a concurrency permit (or
+// cancellation — a cancelled queued job never takes a permit), simulate
+// with live progress, persist and publish the result.
 func (s *Server) runJob(j *job) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
-		delete(s.active, j.key)
+		// A fresh submission may have replaced a cancelled job's active
+		// entry while it drained; only remove the entry if it is still
+		// ours.
+		if s.active[j.key] == j {
+			delete(s.active, j.key)
+		}
 		s.queued--
 		// Retention: keep the most recent finished jobs addressable by id
 		// (status/stream replay), dropping the oldest beyond the ring so a
@@ -258,29 +314,35 @@ func (s *Server) runJob(j *job) {
 			j.fail(fmt.Errorf("job panicked: %v", r))
 		}
 	}()
-	s.sem <- struct{}{}
+	select {
+	case s.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		j.cancelled() // cancelled while queued: release nothing, run nothing
+		return
+	}
 	defer func() { <-s.sem }()
+	if j.ctx.Err() != nil {
+		j.cancelled()
+		return
+	}
 
 	j.setState(stateRunning)
-	sums, err := experiment.RunSpecProgress(j.spec, j.appendProgress)
+	sums, err := experiment.RunSpecContext(j.ctx, j.spec, j.appendProgress)
 	if err != nil {
-		j.fail(err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			j.cancelled()
+		} else {
+			j.fail(err)
+		}
 		return
 	}
 	s.simulated.Add(1)
-	canon, err := j.spec.CanonicalJSON()
+	res, err := experiment.CellResultOf(experiment.SweepCell{Spec: j.spec, Key: j.key}, sums)
 	if err != nil {
 		j.fail(err)
 		return
 	}
-	res := &Result{
-		Key:           j.key,
-		CanonicalSpec: canon,
-		Seeds:         j.spec.SeedList(),
-		PerSeed:       sums,
-		Mean:          metrics.Mean(sums),
-	}
-	if err := s.writeCache(res); err != nil {
+	if err := s.store.Put(res); err != nil {
 		j.fail(fmt.Errorf("persist result: %w", err))
 		return
 	}
@@ -312,19 +374,38 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	st, events, _ := j.snapshot()
-	resp := jobResponse{JobID: j.id, Key: j.key, Status: string(st)}
-	if n := len(events); n > 0 {
-		resp.Frac = events[n-1].Frac
+	// One snapshot: state, progress, result and error are read atomically,
+	// so a reply can never pair "running" with a result or "done" without
+	// one.
+	snap := j.snapshot()
+	resp := jobResponse{
+		JobID:  j.id,
+		Key:    j.key,
+		Status: string(snap.state),
+		Error:  snap.errMsg,
+		Result: snap.result,
 	}
-	j.mu.Lock()
-	resp.Result = j.result
-	resp.Error = j.errMsg
-	j.mu.Unlock()
-	if st == stateDone {
-		resp.Frac = 1
+	if n := len(snap.events); n > 0 {
+		resp.Frac = snap.events[n-1].Frac
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCancelJob cancels a queued or running job: the job's context is
+// cancelled, so a queued job never starts and a running one stops
+// simulating after its current tick and releases its permit. Jobs already
+// in a terminal state answer 409.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	if st := j.snapshot().state; terminalState(st) {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s already %s", j.id, st))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, map[string]string{"job_id": j.id, "status": "cancelling"})
 }
 
 // handleStream replays the job's progress history and follows it live as
@@ -335,19 +416,32 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
+	streamNDJSON(w, r, func() ([]metrics.Progress, chan struct{}) {
+		snap := j.snapshot()
+		return snap.events, snap.notify
+	}, func(p metrics.Progress) bool { return p.Done })
+}
+
+// streamNDJSON replays an event history and follows it live as NDJSON —
+// one event per line — until an event isFinal reports true for has been
+// sent or the client goes away. snapshot must return the full event
+// slice and the channel that closes on the next append, atomically.
+// Writes stop at the first failed Encode: no flushing after a dead
+// client.
+func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, snapshot func() ([]T, chan struct{}), isFinal func(T) bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	sent := 0
 	for {
-		_, events, notify := j.snapshot()
+		events, notify := snapshot()
 		final := false
 		for _, p := range events[sent:] {
 			if enc.Encode(p) != nil {
-				return // client went away
+				return // client went away; no further writes or flushes
 			}
-			final = final || p.Done
+			final = final || isFinal(p)
 		}
 		sent = len(events)
 		if flusher != nil {
@@ -366,7 +460,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	if res, ok := s.readCache(key); ok {
+	if res, ok := s.store.Get(key); ok {
 		writeJSON(w, http.StatusOK, res)
 		return
 	}
@@ -380,82 +474,23 @@ func (s *Server) handlePresets(w http.ResponseWriter, _ *http.Request) {
 // maxRetainedJobs bounds finished jobs kept addressable in memory.
 const maxRetainedJobs = 512
 
-// cachePath maps a content address to its file; the two-character fan
-// out keeps directories small under big sweeps. Keys must be lowercase
-// hex SHA-256 — anything else (e.g. a path-traversing "..xx" from the
-// results endpoint) maps to nothing.
-func (s *Server) cachePath(key string) string {
-	if s.cfg.CacheDir == "" || !validCacheKey(key) {
-		return ""
-	}
-	return filepath.Join(s.cfg.CacheDir, key[:2], key+".json")
+// jobSnap is one atomic observation of a job: every field a status reply
+// needs, read under one lock acquisition so replies can never tear (e.g.
+// "running" with a non-nil result).
+type jobSnap struct {
+	state  jobState
+	events []metrics.Progress
+	result *Result
+	errMsg string
+	notify chan struct{}
 }
 
-// validCacheKey reports whether key is a lowercase hex SHA-256.
-func validCacheKey(key string) bool {
-	if len(key) != 64 {
-		return false
-	}
-	for _, c := range key {
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
-		}
-	}
-	return true
-}
-
-func (s *Server) readCache(key string) (*Result, bool) {
-	path := s.cachePath(key)
-	if path == "" {
-		return nil, false
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, false
-	}
-	var res Result
-	if json.Unmarshal(data, &res) != nil || res.Key != key {
-		return nil, false // corrupt entry: treat as a miss, recompute
-	}
-	return &res, true
-}
-
-// writeCache persists a result atomically (temp file + rename), so a
-// crashed write can never be read back as a (corrupt) hit.
-func (s *Server) writeCache(res *Result) error {
-	path := s.cachePath(res.Key)
-	if path == "" {
-		return nil
-	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
-}
-
-// snapshot returns the job's state, progress history and the channel that
-// closes on the next append.
-func (j *job) snapshot() (jobState, []metrics.Progress, chan struct{}) {
+// snapshot returns the job's state, progress history, result, error and
+// the channel that closes on the next append — atomically.
+func (j *job) snapshot() jobSnap {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state, j.events, j.notify
+	return jobSnap{state: j.state, events: j.events, result: j.result, errMsg: j.errMsg, notify: j.notify}
 }
 
 func (j *job) setState(st jobState) {
@@ -464,47 +499,82 @@ func (j *job) setState(st jobState) {
 	j.mu.Unlock()
 }
 
-// appendProgress publishes one progress event (called from pool workers).
-func (j *job) appendProgress(p metrics.Progress) {
+// subscribe registers fn to receive every event appended after this call
+// (outside the job's lock) and returns the snapshot taken at registration
+// — together they hand the caller the full ordered event sequence with no
+// gap and no overlap.
+func (j *job) subscribe(fn func(metrics.Progress)) jobSnap {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.subs = append(j.subs, fn)
+	return jobSnap{state: j.state, events: j.events, result: j.result, errMsg: j.errMsg, notify: j.notify}
+}
+
+// publish appends one event, wakes streamers, and delivers to subscribers
+// outside the lock (subscriber callbacks take sweep locks and read other
+// jobs; holding j.mu across them would order locks job→sweep→job).
+func (j *job) publish(p metrics.Progress) {
 	j.mu.Lock()
 	j.events = append(j.events, p)
 	close(j.notify)
 	j.notify = make(chan struct{})
+	subs := j.subs
 	j.mu.Unlock()
+	for _, fn := range subs {
+		fn(p)
+	}
+}
+
+// appendProgress publishes one progress event (called from pool workers).
+func (j *job) appendProgress(p metrics.Progress) { j.publish(p) }
+
+// terminal moves the job to a final state and publishes the terminal
+// progress event. The event carries the last observed completion fraction
+// — a job that dies at 90% reports 90%, not 0 — or 1 on success.
+func (j *job) terminal(st jobState, res *Result, errMsg string) {
+	j.mu.Lock()
+	p := metrics.Progress{Done: true, Error: errMsg}
+	if n := len(j.events); n > 0 {
+		p.Frac = j.events[n-1].Frac
+	}
+	if st == stateDone && res != nil {
+		mean := res.Mean
+		p.Frac = 1
+		p.Seed = len(res.Seeds) - 1
+		p.Seeds = len(res.Seeds)
+		p.Summary = &mean
+	}
+	j.state = st
+	j.result = res
+	j.errMsg = errMsg
+	j.events = append(j.events, p)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	subs := j.subs
+	j.mu.Unlock()
+	for _, fn := range subs {
+		fn(p)
+	}
 }
 
 // finish publishes the result and the terminal progress event.
-func (j *job) finish(res *Result) {
-	mean := res.Mean
-	j.mu.Lock()
-	j.state = stateDone
-	j.result = res
-	j.events = append(j.events, metrics.Progress{
-		Seed: len(res.Seeds) - 1, Seeds: len(res.Seeds),
-		Frac: 1, Done: true, Summary: &mean,
-	})
-	close(j.notify)
-	j.notify = make(chan struct{})
-	j.mu.Unlock()
-}
+func (j *job) finish(res *Result) { j.terminal(stateDone, res, "") }
 
 // fail publishes the error and the terminal progress event.
-func (j *job) fail(err error) {
-	j.mu.Lock()
-	j.state = stateFailed
-	j.errMsg = err.Error()
-	j.events = append(j.events, metrics.Progress{Done: true, Error: err.Error()})
-	close(j.notify)
-	j.notify = make(chan struct{})
-	j.mu.Unlock()
-}
+func (j *job) fail(err error) { j.terminal(stateFailed, nil, err.Error()) }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// cancelled publishes the cancellation terminal event.
+func (j *job) cancelled() { j.terminal(stateCancelled, nil, "cancelled") }
+
+// writeJSON writes one JSON reply. The returned error reports a failed or
+// short write (client gone); callers that would otherwise keep writing or
+// flushing should stop.
+func writeJSON(w http.ResponseWriter, code int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	return enc.Encode(v)
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {

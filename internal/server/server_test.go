@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -350,5 +352,186 @@ func waitDone(t *testing.T, ts *httptest.Server, id string) jobResponse {
 			t.Fatalf("job %s did not finish", id)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// longSpec is a job big enough (~seconds of wall time) that tests can
+// reliably observe it queued or running before acting on it.
+const longSpec = `{"protocol": "MaxProp", "nodes": 240, "duration": 10000, "seeds": [1, 2, 3, 4]}`
+
+// waitState polls a job until it reaches one of the wanted states.
+func waitState(t *testing.T, ts *httptest.Server, id string, want ...jobState) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var jr jobResponse
+		getJSON(t, ts.URL+"/v1/jobs/"+id, &jr)
+		for _, st := range want {
+			if jr.Status == string(st) {
+				return jr
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %v", id, jr.Status, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func del(t *testing.T, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestCancelRunning: DELETE on a running job stops the simulation, the
+// job reports cancelled with its last progress fraction, and no result
+// is produced or cached.
+func TestCancelRunning(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	sub, code := postSpec(t, ts, longSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	waitState(t, ts, sub.JobID, stateRunning)
+	code, body := del(t, ts.URL+"/v1/jobs/"+sub.JobID)
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel status %d: %s", code, body)
+	}
+	jr := waitState(t, ts, sub.JobID, stateCancelled)
+	if jr.Result != nil {
+		t.Errorf("cancelled job has a result")
+	}
+	if jr.Error != "cancelled" {
+		t.Errorf("cancelled job error %q", jr.Error)
+	}
+	if s.Simulated() != 0 {
+		t.Errorf("cancelled job counted as simulated")
+	}
+	// The stream replays to a terminal done event carrying the error.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.JobID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last metrics.Progress
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON %q: %v", sc.Text(), err)
+		}
+	}
+	if !last.Done || last.Error != "cancelled" {
+		t.Fatalf("terminal stream event %+v", last)
+	}
+	// A second DELETE conflicts: the job is already terminal.
+	if code, _ := del(t, ts.URL+"/v1/jobs/"+sub.JobID); code != http.StatusConflict {
+		t.Errorf("re-cancel status %d, want 409", code)
+	}
+	// Resubmission after cancellation starts fresh (nothing was cached).
+	sub2, code := postSpec(t, ts, longSpec)
+	if code != http.StatusAccepted || sub2.Cached {
+		t.Fatalf("resubmit after cancel: %d %+v", code, sub2)
+	}
+	del(t, ts.URL+"/v1/jobs/"+sub2.JobID)
+	waitState(t, ts, sub2.JobID, stateCancelled)
+}
+
+// TestCancelQueued: a job cancelled while waiting for the concurrency
+// permit never simulates and never takes the permit.
+func TestCancelQueued(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentJobs: 1})
+	blocker, code := postSpec(t, ts, longSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit blocker: %d", code)
+	}
+	waitState(t, ts, blocker.JobID, stateRunning)
+	queued, code := postSpec(t, ts, testSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit queued job: %d", code)
+	}
+	if code, body := del(t, ts.URL+"/v1/jobs/"+queued.JobID); code != http.StatusAccepted {
+		t.Fatalf("cancel queued: %d %s", code, body)
+	}
+	jr := waitState(t, ts, queued.JobID, stateCancelled)
+	if jr.Frac != 0 || jr.Result != nil {
+		t.Errorf("queued job simulated before cancel: %+v", jr)
+	}
+	del(t, ts.URL+"/v1/jobs/"+blocker.JobID)
+	waitState(t, ts, blocker.JobID, stateCancelled)
+	if s.Simulated() != 0 {
+		t.Errorf("cancelled jobs counted as simulated")
+	}
+}
+
+// TestCancelDoneConflicts: cancelling a finished job is refused with 409
+// and does not disturb its result.
+func TestCancelDoneConflicts(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sub, code := postSpec(t, ts, testSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	waitDone(t, ts, sub.JobID)
+	if code, _ := del(t, ts.URL+"/v1/jobs/"+sub.JobID); code != http.StatusConflict {
+		t.Errorf("cancel done job: status %d, want 409", code)
+	}
+	var jr jobResponse
+	getJSON(t, ts.URL+"/v1/jobs/"+sub.JobID, &jr)
+	if jr.Status != string(stateDone) || jr.Result == nil {
+		t.Errorf("done job disturbed by cancel attempt: %+v", jr)
+	}
+	if code, _ := del(t, ts.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Errorf("cancel unknown job: status %d, want 404", code)
+	}
+}
+
+// TestFailCarriesFrac pins the lifecycle bugfix: a job that fails after
+// reporting progress keeps its last observed fraction in the terminal
+// event and the status reply, instead of resetting to 0.
+func TestFailCarriesFrac(t *testing.T) {
+	j := &job{id: "j1", state: stateRunning, notify: make(chan struct{})}
+	j.appendProgress(metrics.Progress{Frac: 0.4})
+	j.appendProgress(metrics.Progress{Frac: 0.9})
+	j.fail(errGone)
+	snap := j.snapshot()
+	if snap.state != stateFailed || snap.errMsg != errGone.Error() {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	last := snap.events[len(snap.events)-1]
+	if !last.Done || last.Frac != 0.9 {
+		t.Fatalf("terminal event %+v, want Done with Frac 0.9", last)
+	}
+	if snap.result != nil {
+		t.Errorf("failed job carries a result")
+	}
+}
+
+var errGone = errors.New("engine exploded at 90%")
+
+// TestSnapshotConsistency: state, result and error always travel
+// together — a done snapshot has a result, a failed one an error, and a
+// running one neither.
+func TestSnapshotConsistency(t *testing.T) {
+	j := &job{id: "j1", state: stateRunning, notify: make(chan struct{})}
+	if snap := j.snapshot(); snap.result != nil || snap.errMsg != "" {
+		t.Fatalf("running snapshot carries outcome: %+v", snap)
+	}
+	j.finish(&Result{Seeds: []int64{1}, PerSeed: []metrics.Summary{{}}})
+	snap := j.snapshot()
+	if snap.state != stateDone || snap.result == nil || snap.errMsg != "" {
+		t.Fatalf("done snapshot inconsistent: %+v", snap)
+	}
+	if last := snap.events[len(snap.events)-1]; !last.Done || last.Frac != 1 || last.Summary == nil {
+		t.Fatalf("done terminal event %+v", last)
 	}
 }

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testSweep expands to 2 alpha cells over the same base as testSpec with
+// alpha 0.2 — so the single-job spec below is one of its cells.
+const testSweep = `{
+	"base": {"preset": "quick", "protocol": "EER", "nodes": 16, "duration": 400, "seeds": [1, 2]},
+	"alpha": [0.2, 0.6]
+}`
+
+// testSweepCellSpec is the alpha=0.2 cell of testSweep written as a
+// single-job spec: both resolve to the same scenario, hence the same
+// content address.
+const testSweepCellSpec = `{"preset": "quick", "protocol": "EER", "nodes": 16, "duration": 400, "seeds": [1, 2], "alpha": 0.2}`
+
+func postSweep(t *testing.T, ts *httptest.Server, spec string) (sweepResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out sweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode sweep response: %v", err)
+	}
+	return out, resp.StatusCode
+}
+
+func waitSweepState(t *testing.T, ts *httptest.Server, id string, want ...jobState) sweepResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var sr sweepResponse
+		getJSON(t, ts.URL+"/v1/sweeps/"+id, &sr)
+		for _, st := range want {
+			if sr.Status == string(st) {
+				return sr
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s stuck in %q, want %v", id, sr.Status, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSweepEndToEnd: a sweep fans out into per-cell jobs, streams
+// aggregate progress to a terminal event, produces a result table keyed
+// by cell, and a resubmission is served entirely from cache with zero
+// new simulations — the acceptance criterion.
+func TestSweepEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	sub, code := postSweep(t, ts, testSweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %+v", code, sub)
+	}
+	if sub.SweepID == "" || sub.CellsTotal != 2 || sub.CellsCached != 0 {
+		t.Fatalf("bad sweep submit response %+v", sub)
+	}
+	for _, c := range sub.Cells {
+		if len(c.Axes) != 1 || c.Axes[0].Axis != "alpha" {
+			t.Fatalf("cell axes %+v", c.Axes)
+		}
+		if c.JobID == "" || c.Key == "" {
+			t.Fatalf("cell missing job/key: %+v", c)
+		}
+	}
+
+	// Aggregate NDJSON stream: monotone fractions, terminal done line.
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + sub.SweepID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	var events []SweepProgress
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var p SweepProgress
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("only %d aggregate events", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Frac < events[i-1].Frac {
+			t.Fatalf("aggregate progress went backwards: %g after %g", events[i].Frac, events[i-1].Frac)
+		}
+	}
+	last := events[len(events)-1]
+	if !last.Done || last.Status != string(stateDone) || last.Frac != 1 || last.CellsDone != 2 {
+		t.Fatalf("terminal event %+v", last)
+	}
+
+	// Result table: every cell done with a mean, keyed by axis value.
+	table := waitSweepState(t, ts, sub.SweepID, stateDone)
+	if table.CellsDone != 2 || len(table.Cells) != 2 {
+		t.Fatalf("table %+v", table)
+	}
+	for i, want := range []string{"0.2", "0.6"} {
+		c := table.Cells[i]
+		if c.Axes[0].Value != want || c.Status != string(stateDone) || c.Mean == nil {
+			t.Fatalf("cell %d: %+v", i, c)
+		}
+	}
+	// Each cell's result is addressable directly by its key.
+	var cellRes Result
+	getJSON(t, ts.URL+"/v1/results/"+table.Cells[0].Key, &cellRes)
+	if cellRes.Mean != *table.Cells[0].Mean {
+		t.Errorf("cell result endpoint diverged from table")
+	}
+
+	// Resubmission: fully cached, no new simulations, identical table.
+	before := s.Simulated()
+	sub2, code := postSweep(t, ts, testSweep)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit status %d: %+v", code, sub2)
+	}
+	if sub2.Status != string(stateDone) || sub2.CellsCached != 2 || sub2.Frac != 1 {
+		t.Fatalf("resubmitted sweep not served from cache: %+v", sub2)
+	}
+	for i := range sub2.Cells {
+		if !sub2.Cells[i].Cached || *sub2.Cells[i].Mean != *table.Cells[i].Mean {
+			t.Fatalf("resubmitted cell %d diverged: %+v", i, sub2.Cells[i])
+		}
+	}
+	if got := s.Simulated(); got != before {
+		t.Errorf("resubmitted sweep simulated (%d -> %d)", before, got)
+	}
+	// The all-cached sweep is itself addressable, already terminal.
+	if st := waitSweepState(t, ts, sub2.SweepID, stateDone); st.CellsCached != 2 {
+		t.Errorf("cached sweep status %+v", st)
+	}
+}
+
+// TestSweepReusesPriorJobs: a sweep overlapping previously-computed
+// single jobs simulates only its genuinely new cells — Simulated() grows
+// by exactly the unique uncomputed cell count.
+func TestSweepReusesPriorJobs(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Compute one future cell as a plain single job.
+	sub, code := postSpec(t, ts, testSweepCellSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("single job status %d", code)
+	}
+	waitDone(t, ts, sub.JobID)
+	if got := s.Simulated(); got != 1 {
+		t.Fatalf("Simulated = %d after one job", got)
+	}
+
+	// The sweep covers that cell plus one new one.
+	sw, code := postSweep(t, ts, testSweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep status %d: %+v", code, sw)
+	}
+	if sw.CellsCached != 1 {
+		t.Fatalf("sweep reused %d cells, want 1: %+v", sw.CellsCached, sw)
+	}
+	if sw.Cells[0].Key != sub.Key {
+		t.Errorf("cell key %s != single-job key %s", sw.Cells[0].Key, sub.Key)
+	}
+	waitSweepState(t, ts, sw.SweepID, stateDone)
+	if got := s.Simulated(); got != 2 {
+		t.Errorf("Simulated = %d, want 2 (one job + one new cell)", got)
+	}
+
+	// Resubmitting the whole sweep now touches nothing.
+	sw2, code := postSweep(t, ts, testSweep)
+	if code != http.StatusOK || sw2.CellsCached != 2 {
+		t.Fatalf("resubmit: %d %+v", code, sw2)
+	}
+	if got := s.Simulated(); got != 2 {
+		t.Errorf("resubmitted sweep simulated: %d", got)
+	}
+	// And the cell computed by the sweep is served to single submissions.
+	single, code := postSpec(t, ts, `{"preset": "quick", "protocol": "EER", "nodes": 16, "duration": 400, "seeds": [1, 2], "alpha": 0.6}`)
+	if code != http.StatusOK || !single.Cached {
+		t.Errorf("sweep-computed cell not served to single job: %d %+v", code, single)
+	}
+}
+
+// TestSweepCancel: DELETE on a sweep cancels its unfinished cells; the
+// sweep and its cells end cancelled, and nothing is cached for them.
+func TestSweepCancel(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrentJobs: 1})
+	// Two heavy cells: with one job slot, at most one runs while the
+	// other queues — both must die on sweep cancellation.
+	sw, code := postSweep(t, ts, `{
+		"base": {"protocol": "MaxProp", "nodes": 240, "duration": 10000, "seeds": [1, 2, 3, 4]},
+		"alpha": [0.2, 0.6]
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep status %d", code)
+	}
+	if code, body := del(t, ts.URL+"/v1/sweeps/"+sw.SweepID); code != http.StatusAccepted {
+		t.Fatalf("cancel sweep: %d %s", code, body)
+	}
+	table := waitSweepState(t, ts, sw.SweepID, stateCancelled)
+	for i, c := range table.Cells {
+		if c.Status != string(stateCancelled) {
+			t.Errorf("cell %d status %q after sweep cancel", i, c.Status)
+		}
+	}
+	if got := s.Simulated(); got != 0 {
+		t.Errorf("cancelled sweep simulated %d cells", got)
+	}
+	// Cancelling a finished sweep conflicts.
+	if code, _ := del(t, ts.URL+"/v1/sweeps/"+sw.SweepID); code != http.StatusConflict {
+		t.Errorf("re-cancel status %d, want 409", code)
+	}
+	if code, _ := del(t, ts.URL+"/v1/sweeps/nope"); code != http.StatusNotFound {
+		t.Errorf("cancel unknown sweep: %d, want 404", code)
+	}
+}
+
+// TestSweepSharedCellSurvivesSweepCancel: a cell coalesced with a direct
+// submission keeps running when the sweep is cancelled — the sweep only
+// releases its own hold.
+func TestSweepSharedCellSurvivesSweepCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrentJobs: 1})
+	// Direct submission first; the sweep's alpha=0.2 cell coalesces on it.
+	single, code := postSpec(t, ts, `{"protocol": "MaxProp", "nodes": 240, "duration": 10000, "seeds": [1, 2, 3, 4], "alpha": 0.2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("single job status %d", code)
+	}
+	sw, code := postSweep(t, ts, `{
+		"base": {"protocol": "MaxProp", "nodes": 240, "duration": 10000, "seeds": [1, 2, 3, 4]},
+		"alpha": [0.2, 0.6]
+	}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("sweep status %d", code)
+	}
+	shared, other := "", ""
+	for _, c := range sw.Cells {
+		if c.JobID == single.JobID {
+			shared = c.JobID
+		} else {
+			other = c.JobID
+		}
+	}
+	if shared == "" {
+		// The single job finished before the sweep expanded (would be
+		// served from cache instead of coalescing): nothing to verify.
+		t.Skip("single job finished before sweep submission; no in-flight coalesce")
+	}
+	if code, _ := del(t, ts.URL+"/v1/sweeps/"+sw.SweepID); code != http.StatusAccepted {
+		t.Fatalf("cancel sweep failed")
+	}
+	// The sweep-only cell dies with the sweep...
+	waitState(t, ts, other, stateCancelled)
+	// ...while the shared cell keeps running for its direct submitter
+	// (the sweep itself stays unterminated until that cell ends).
+	jr := waitState(t, ts, shared, stateRunning, stateQueued, stateDone)
+	if jr.Status == string(stateCancelled) {
+		t.Fatalf("shared cell cancelled with the sweep")
+	}
+	// Cancel the survivor directly (an explicit job DELETE overrides
+	// remaining holds); the sweep then reaches its terminal state too.
+	del(t, ts.URL+"/v1/jobs/"+shared)
+	waitState(t, ts, shared, stateCancelled, stateDone)
+	waitSweepState(t, ts, sw.SweepID, stateCancelled, stateDone)
+}
+
+// TestSweepValidationAndAdmission: malformed sweeps are 400; sweeps
+// whose new cells overflow the queue are refused whole with 429.
+func TestSweepValidationAndAdmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxQueuedJobs: 1})
+	for name, body := range map[string]string{
+		"garbage":       `not json`,
+		"unknown field": `{"base": {}, "protocls": ["EER"]}`,
+		"bad cell":      `{"base": {}, "protocols": ["EERX"]}`,
+	} {
+		if _, code := postSweep(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+	// Two new cells, one queue slot: refused whole, nothing queued.
+	if _, code := postSweep(t, ts, testSweep); code != http.StatusTooManyRequests {
+		t.Errorf("oversized sweep status %d, want 429", code)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/sweeps/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown sweep status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestSweepCachedServedWhileDraining: like handleSubmit's cached fast
+// path, a fully-cached sweep needs no queue slot and is served even
+// after Drain begins; a sweep needing simulation is refused with 503.
+func TestSweepCachedServedWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	sw, code := postSweep(t, ts, testSweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	waitSweepState(t, ts, sw.SweepID, stateDone)
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	cached, code := postSweep(t, ts, testSweep)
+	if code != http.StatusOK || cached.CellsCached != 2 {
+		t.Fatalf("cached sweep refused during drain: %d %+v", code, cached)
+	}
+	if _, code := postSweep(t, ts, `{
+		"base": {"preset": "quick", "protocol": "EER", "nodes": 16, "duration": 400, "seeds": [1, 2]},
+		"alpha": [0.9]
+	}`); code != http.StatusServiceUnavailable {
+		t.Errorf("uncached sweep during drain: status %d, want 503", code)
+	}
+}

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"math"
 )
 
@@ -180,6 +181,18 @@ func (r *Runner) Run(end float64) {
 // results — so callers can stream live progress from a run that stays
 // bit-identical to an unobserved one.
 func (r *Runner) RunProgress(end float64, every int, hook func(t float64)) {
+	r.RunContext(nil, end, every, hook)
+}
+
+// RunContext is RunProgress with cooperative cancellation: the context is
+// polled after every tick and the run stops early with ctx.Err() once it
+// is cancelled — a cancelled simulation wastes at most one tick of work.
+// A nil or never-cancelled context ticks the exact same floating-point
+// time sequence as Run — cancellation points only observe state, so a
+// run that completes is bit-identical to an unobserved one. The final
+// hook call is skipped on early stop: the run did not reach a reportable
+// end state.
+func (r *Runner) RunContext(ctx context.Context, end float64, every int, hook func(t float64)) error {
 	ticks := 0
 	for r.Clock.Now() < end {
 		next := r.Clock.Now() + r.Tick
@@ -194,8 +207,14 @@ func (r *Runner) RunProgress(end float64, every int, hook func(t float64)) {
 		if ticks++; every > 0 && hook != nil && ticks%every == 0 {
 			hook(next)
 		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
 	if hook != nil {
 		hook(r.Clock.Now())
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -234,3 +235,65 @@ func TestQueueSteadyStateAllocFree(t *testing.T) {
 }
 
 func nil2(float64) {}
+
+func TestRunContextNilCtxMatchesRunProgress(t *testing.T) {
+	var a, b []float64
+	ra := NewRunner(0.25)
+	ra.RunProgress(2.1, 2, func(tt float64) { a = append(a, tt) })
+	rb := NewRunner(0.25)
+	if err := rb.RunContext(nil, 2.1, 2, func(tt float64) { b = append(b, tt) }); err != nil {
+		t.Fatalf("nil-ctx RunContext: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("hook counts diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hook %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if ra.Now() != rb.Now() {
+		t.Errorf("final times diverge: %v vs %v", ra.Now(), rb.Now())
+	}
+}
+
+func TestRunContextCancelStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRunner(1)
+	ticks := 0
+	r.AddTicker(tickerFunc(func(float64) {
+		if ticks++; ticks == 3 {
+			cancel()
+		}
+	}))
+	err := r.RunContext(ctx, 1000, 1, nil)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The run stopped at the cancellation tick, not at the end.
+	if r.Now() != 3 {
+		t.Errorf("stopped at t=%g, want 3", r.Now())
+	}
+	if ticks != 3 {
+		t.Errorf("ticked %d times after cancel", ticks)
+	}
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(1)
+	ticks := 0
+	r.AddTicker(tickerFunc(func(float64) { ticks++ }))
+	if err := r.RunContext(ctx, 100, 1, nil); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation is polled after each tick: exactly one tick runs.
+	if ticks != 1 {
+		t.Errorf("ticked %d times, want 1", ticks)
+	}
+}
+
+type tickerFunc func(t float64)
+
+func (f tickerFunc) Tick(t float64) { f(t) }
