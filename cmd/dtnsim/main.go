@@ -34,9 +34,11 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "number of seeds to average")
 		seed     = flag.Int64("seed", 1, "base seed (used when -seeds 1)")
 		mobility = flag.String("mobility", "bus", "mobility model: bus, rwp or city")
-		shards   = flag.Int("shards", 0, "per-world tick shards (0 = serial; results identical)")
+		shards   = flag.String("shards", "0", "per-world tick shards: a count or \"auto\" (0 = serial; results identical)")
 		sparse   = flag.Bool("sparse", false, "force the sparse estimator core for EER/CR/MaxProp (auto at >= 1000 nodes; summaries identical)")
+		gossip   = flag.String("gossip", "", "estimator exchange metering for EER/CR/MaxProp: fresher (default), flood or delta (summaries identical except gossip volume)")
 		city     = flag.Bool("city", false, "start from the 10k-node CityScale preset instead of the paper defaults")
+		metro    = flag.Bool("metro", false, "start from the 100k-node MetroScale preset (auto shards, delta gossip) instead of the paper defaults")
 		verbose  = flag.Bool("v", false, "print per-seed summaries")
 		serve    = flag.String("serve", "", "instead of running one scenario, serve the dtnd simulation API on this address (e.g. :8080)")
 		cacheDir = flag.String("cache", "dtnd-cache", "result cache directory for -serve (empty disables)")
@@ -73,14 +75,18 @@ func main() {
 	}
 
 	s := experiment.Default()
+	preset := *city || *metro
 	if *city {
 		// Preset first; explicitly-set flags below still override it.
 		s = experiment.CityScale()
 	}
+	if *metro {
+		s = experiment.MetroScale()
+	}
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	apply := func(name string, f func()) {
-		if set[name] || !*city {
+		if set[name] || !preset {
 			f()
 		}
 	}
@@ -94,8 +100,16 @@ func main() {
 	apply("msgsize", func() { s.MsgSize = *msgKB * 1024 })
 	apply("tick", func() { s.Tick = *tick })
 	apply("mobility", func() { s.Mobility = *mobility })
-	s.Shards = *shards
-	s.SparseEstimators = *sparse
+	apply("shards", func() {
+		n, err := experiment.ParseShards(*shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtnsim:", err)
+			os.Exit(2)
+		}
+		s.Shards = n
+	})
+	apply("gossip", func() { s.Gossip = *gossip })
+	apply("sparse", func() { s.SparseEstimators = *sparse })
 	s.Seed = *seed
 
 	start := time.Now()
@@ -128,6 +142,9 @@ func main() {
 	fmt.Printf("contacts         %d\n", mean.Contacts)
 	fmt.Printf("gossip           %d rows / %d entries / %.1f KB\n",
 		mean.GossipRows, mean.GossipEntries, float64(mean.GossipBytes)/1024)
+	if mean.GossipDigestBytes > 0 {
+		fmt.Printf("  digest volume  %.1f KB (included above)\n", float64(mean.GossipDigestBytes)/1024)
+	}
 	fmt.Printf("wall time        %s\n", elapsed.Round(time.Millisecond))
 	if mean.Generated == 0 {
 		fmt.Fprintln(os.Stderr, "warning: no messages generated")

@@ -32,15 +32,20 @@ func main() {
 		csv    = flag.String("csv", "", "also write CSV data to this file prefix (e.g. fig)")
 		nodes  = flag.String("nodes", "", "override node counts, comma-separated")
 		outDur = flag.Float64("duration", 10000, "simulated seconds per run")
-		shards = flag.Int("shards", 0, "per-world tick shards (0 = serial; summaries identical). The pool already fills all cores, so set this only for few huge runs")
+		shards = flag.String("shards", "0", "per-world tick shards: a count or \"auto\" (0 = serial; summaries identical). The pool already fills all cores, so set this only for few huge runs")
 		sparse = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
 		cache  = flag.String("cache", "", "content-addressed result cache shared with dtnd and cmd/sweep; Figure-2 cells hit it (empty disables)")
 	)
 	flag.Parse()
 
+	shardCount, err := experiment.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
 	base := experiment.Default()
 	base.Duration = *outDur
-	base.Shards = *shards
+	base.Shards = shardCount
 	base.SparseEstimators = *sparse
 	counts := []int{40, 80, 120, 160, 200, 240}
 	if *quick {
@@ -60,7 +65,7 @@ func main() {
 	baseSpec := experiment.ScenarioSpec{
 		Duration:         experiment.Ptr(base.Duration),
 		Tick:             experiment.Ptr(base.Tick),
-		Shards:           experiment.Ptr(*shards),
+		Shards:           experiment.Ptr(experiment.ShardCount(shardCount)),
 		SparseEstimators: experiment.Ptr(*sparse),
 		Seeds:            experiment.Seeds(*seeds),
 	}

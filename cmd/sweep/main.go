@@ -31,7 +31,7 @@ func main() {
 		seeds    = flag.Int("seeds", 3, "seeds per point")
 		duration = flag.Float64("duration", 6000, "simulated seconds")
 		workers  = flag.Int("workers", 0, "cap simulation workers (0 = all cores)")
-		shards   = flag.Int("shards", 0, "per-world tick shards (0 = serial; summaries identical)")
+		shards   = flag.String("shards", "0", "per-world tick shards: a count or \"auto\" (0 = serial; summaries identical)")
 		sparse   = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
 		cache    = flag.String("cache", "", "content-addressed result cache directory shared with dtnd (empty disables)")
 	)
@@ -40,11 +40,16 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
+	shardCount, err := experiment.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
 	base := experiment.ScenarioSpec{
 		Protocol:         experiment.Ptr(*protocol),
 		Nodes:            experiment.Ptr(*nodes),
 		Duration:         experiment.Ptr(*duration),
-		Shards:           experiment.Ptr(*shards),
+		Shards:           experiment.Ptr(experiment.ShardCount(shardCount)),
 		SparseEstimators: experiment.Ptr(*sparse),
 		Seeds:            experiment.Seeds(*seeds),
 	}

@@ -45,24 +45,38 @@ type MeetingStore interface {
 }
 
 // ExchangeStats tallies the link-state volume one merge (or one Sync, both
-// directions) actually moved: rows replaced because the sender's were
-// fresher, the known (finite, off-diagonal) entries those rows carried, and
-// the serialized bytes they stand for. Dense and sparse stores report
-// identical stats for identical exchanges — a dense row's unknown entries
-// never travel, mirroring the sparse row that simply omits them — so the
-// counters are storage-mode independent like every other summary metric.
+// directions) actually moved: rows shipped, the known (finite,
+// off-diagonal) entries those rows carried, and the serialized bytes they
+// stand for — including, in delta mode, the digest round-trip and row
+// requests (DigestBytes breaks that overhead out of Bytes). Dense and
+// sparse stores report identical stats for identical exchanges — a dense
+// row's unknown entries never travel, mirroring the sparse row that simply
+// omits them — so the counters are storage-mode independent like every
+// other summary metric.
 type ExchangeStats struct {
 	Rows    int
 	Entries int
 	Bytes   int
+
+	// DigestRows counts digest entries advertised; DigestBytes is the
+	// digest + request overhead, already included in Bytes.
+	DigestRows  int
+	DigestBytes int
 }
 
-// Serialized row cost model behind ExchangeStats.Bytes: a row header
+// Serialized cost model behind ExchangeStats.Bytes: a row header
 // (owner id 4 B + freshness timestamp 8 B + entry count 4 B) plus
-// (peer id 4 B + float64 value 8 B) per known entry.
+// (peer id 4 B + float64 value 8 B) per known entry. A delta digest costs
+// a header (sender id 4 B + entry count 4 B + eviction generation 8 B)
+// per direction plus (owner id 4 B + freshness stamp 8 B) per advertised
+// row, and each row pulled in response costs an owner-id request entry.
 const (
 	rowHeaderBytes = 16
 	entryBytes     = 12
+
+	digestHeaderBytes = 16
+	digestEntryBytes  = 12
+	requestEntryBytes = 4
 )
 
 // AddRow accounts one copied row with n known entries.
@@ -72,11 +86,28 @@ func (e *ExchangeStats) AddRow(entries int) {
 	e.Bytes += rowHeaderBytes + entries*entryBytes
 }
 
+// AddDigest accounts one digest transmission advertising n rows.
+func (e *ExchangeStats) AddDigest(entries int) {
+	e.DigestRows += entries
+	db := digestHeaderBytes + entries*digestEntryBytes
+	e.DigestBytes += db
+	e.Bytes += db
+}
+
+// AddRequests accounts the row-request list answering a digest.
+func (e *ExchangeStats) AddRequests(rows int) {
+	db := rows * requestEntryBytes
+	e.DigestBytes += db
+	e.Bytes += db
+}
+
 // Add accumulates o into e.
 func (e *ExchangeStats) Add(o ExchangeStats) {
 	e.Rows += o.Rows
 	e.Entries += o.Entries
 	e.Bytes += o.Bytes
+	e.DigestRows += o.DigestRows
+	e.DigestBytes += o.DigestBytes
 }
 
 // Sync merges two stores of the same implementation into the element-wise
@@ -107,6 +138,15 @@ type MeetingMatrix struct {
 	idx     map[int]int // global id -> local index
 	rows    [][]float64 // rows[i][j] = I(ids[i], ids[j]); Unknown if none
 	updated []float64   // last update time per row; -1 = never
+
+	// Delta-gossip bookkeeping (see exchange.go): version counts local
+	// row mutations (own refreshes and merge copies), rowVer stamps each
+	// row with the version of its last mutation, and seen records the
+	// local version as of the end of the last delta sync with each peer —
+	// a row is advertised to a peer iff it mutated since they last met.
+	version uint64
+	rowVer  []uint64
+	seen    map[int]uint64
 }
 
 // NewMeetingMatrix returns an all-Unknown matrix over the given global node
@@ -117,6 +157,7 @@ func NewMeetingMatrix(ids []int) *MeetingMatrix {
 		idx:     make(map[int]int, len(ids)),
 		rows:    make([][]float64, len(ids)),
 		updated: make([]float64, len(ids)),
+		rowVer:  make([]uint64, len(ids)),
 	}
 	flat := make([]float64, len(ids)*len(ids))
 	for i := range flat {
@@ -204,6 +245,8 @@ func (m *MeetingMatrix) UpdateOwnRow(self int, t float64, h *History) {
 		}
 	}
 	m.updated[i] = t
+	m.version++
+	m.rowVer[i] = m.version
 }
 
 // ForEachKnown implements MeetingStore: the finite off-diagonal entries of
@@ -241,6 +284,8 @@ func (m *MeetingMatrix) Merge(other *MeetingMatrix) ExchangeStats {
 		if other.updated[i] > m.updated[i] {
 			copy(m.rows[i], other.rows[i])
 			m.updated[i] = other.updated[i]
+			m.version++
+			m.rowVer[i] = m.version
 			st.AddRow(knownEntries(m.rows[i], i))
 		}
 	}
@@ -286,5 +331,7 @@ func (m *MeetingMatrix) Clone() *MeetingMatrix {
 		copy(c.rows[i], m.rows[i])
 	}
 	copy(c.updated, m.updated)
+	copy(c.rowVer, m.rowVer)
+	c.version = m.version
 	return c
 }

@@ -25,6 +25,10 @@ type SparseRow struct {
 	// Updated is the row's last-refresh time; -1 = never published.
 	Updated float64
 
+	// ver stamps the store-local version of the row's last mutation (own
+	// refresh via Touch, or merge copy) for delta digests; see exchange.go.
+	ver uint64
+
 	peers []int32
 	vals  []float64
 }
@@ -119,6 +123,18 @@ type SparseRows struct {
 	rows    map[int]*SparseRow
 	maxRows int // 0 = unbounded
 	pin     int // owner id never evicted; -1 = none
+
+	// Delta-gossip bookkeeping (see exchange.go): version counts local
+	// row mutations, evictGen counts cap evictions, seen records the
+	// local version as of the end of the last delta sync with each peer,
+	// and evictSeen the local eviction generation as of the start of that
+	// sync — a peer whose counterpart evicted since they last met gets a
+	// full digest, which keeps delta outcomes identical to fresher-wins
+	// even under row caps.
+	version   uint64
+	evictGen  uint64
+	seen      map[int]uint64
+	evictSeen map[int]uint64
 }
 
 // NewSparseRows returns an empty, unbounded row set.
@@ -161,7 +177,16 @@ func (s *SparseRows) evictOverCap() {
 			return // only the pinned row remains
 		}
 		delete(s.rows, victim)
+		s.evictGen++
 	}
+}
+
+// Touch records a local mutation of row r (which must belong to s), so
+// delta digests re-advertise it. Publishers must call it after rebuilding
+// a row in place.
+func (s *SparseRows) Touch(r *SparseRow) {
+	s.version++
+	r.ver = s.version
 }
 
 // Row returns owner's row, or nil if the set holds none.
@@ -196,10 +221,24 @@ func (s *SparseRows) KnownRows() int {
 // counters are order-independent sums. A configured cap (SetCap) is
 // enforced after the merge, stalest rows first.
 func (s *SparseRows) MergeFresher(o *SparseRows) ExchangeStats {
+	return s.mergeFresherDelta(o, 0, true)
+}
+
+// mergeFresherDelta is MergeFresher restricted to the rows o advertised: a
+// row travels only if o mutated it since the peers' last delta sync
+// (or.ver > oSeen), or unconditionally with oFull (a full digest — the
+// first sync, an eviction fallback, or plain MergeFresher). Restricting to
+// advertised rows loses nothing: a sound watermark means every
+// strictly-fresher row is advertised, which deltaEquivalence in
+// exchange_test.go pins.
+func (s *SparseRows) mergeFresherDelta(o *SparseRows, oSeen uint64, oFull bool) ExchangeStats {
 	var st ExchangeStats
 	for id, or := range o.rows {
 		if or.Updated < 0 {
 			continue // never-published rows don't travel
+		}
+		if !oFull && or.ver <= oSeen {
+			continue // not advertised: unchanged since the peers last met
 		}
 		mine := s.rows[id]
 		if mine == nil {
@@ -208,6 +247,8 @@ func (s *SparseRows) MergeFresher(o *SparseRows) ExchangeStats {
 		}
 		if or.Updated > mine.Updated {
 			mine.copyFrom(or)
+			s.version++
+			mine.ver = s.version
 			st.AddRow(or.Len())
 		}
 	}
@@ -235,14 +276,34 @@ func NewSparseMeetingStore(n int) *SparseMeetingStore {
 // NewScopedSparseMeetingStore returns an empty sparse store covering
 // exactly the given global node ids.
 func NewScopedSparseMeetingStore(ids []int) *SparseMeetingStore {
-	scope := make(map[int]struct{}, len(ids))
+	return NewSharedScopeSparseMeetingStore(NewScopeSet(ids))
+}
+
+// ScopeSet is a prebuilt node-id set for scoped sparse stores. Stores only
+// read it, so one set can back every store with the same scope — CR shares
+// one per community instead of rebuilding a members map per node, which at
+// metro scale (100k nodes, communities of thousands) is the difference
+// between an O(n·|community|) and an O(n) world build.
+type ScopeSet map[int]struct{}
+
+// NewScopeSet builds the id set for NewSharedScopeSparseMeetingStore,
+// rejecting duplicate ids.
+func NewScopeSet(ids []int) ScopeSet {
+	scope := make(ScopeSet, len(ids))
 	for _, id := range ids {
 		if _, dup := scope[id]; dup {
 			panic(fmt.Sprintf("core: duplicate id %d in sparse meeting store", id))
 		}
 		scope[id] = struct{}{}
 	}
-	return &SparseMeetingStore{size: len(ids), scope: scope, rows: NewSparseRows()}
+	return scope
+}
+
+// NewSharedScopeSparseMeetingStore returns an empty sparse store covering
+// exactly the ids in scope. The set may be shared across stores and must
+// not be mutated afterwards.
+func NewSharedScopeSparseMeetingStore(scope ScopeSet) *SparseMeetingStore {
+	return &SparseMeetingStore{size: len(scope), scope: scope, rows: NewSparseRows()}
 }
 
 // SetMaxRows bounds the store to maxRows rows (0 = unbounded) with
@@ -318,6 +379,7 @@ func (s *SparseMeetingStore) UpdateOwnRow(self int, t float64, h *History) {
 		}
 	})
 	row.Updated = t
+	s.rows.Touch(row)
 }
 
 // ForEachKnown implements MeetingStore: every stored entry is a finite

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/community"
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/mapgen"
 	"repro/internal/metrics"
@@ -75,6 +76,13 @@ type Scenario struct {
 	// long-horizon city runs; capping discards link state, so summaries
 	// may differ from uncapped runs (deterministically, per cap value).
 	MaxSparseRows int
+	// Gossip selects the estimator exchange metering for EER, CR and
+	// MaxProp: "" or "fresher" (the historical replaced-rows accounting),
+	// "flood" (full vector transmission — the naive baseline), or "delta"
+	// (digest + changed rows only). Routing state and all non-gossip
+	// summary fields are identical across modes; only the gossip byte
+	// counters move (pinned by TestGossipModeParity).
+	Gossip string
 
 	// Simulation parameters.
 	Duration float64
@@ -154,6 +162,15 @@ func Quick() Scenario {
 // variants). It is CityScaleSpec resolved — one code path with dtnd specs.
 func CityScale() Scenario {
 	return mustResolve(CityScaleSpec())
+}
+
+// MetroScale returns the 100k-node metropolitan scenario — CityScale
+// grown 10×: double the map extent, triple the transit lines and
+// districts, auto-sized tick sharding and delta estimator gossip. EER over
+// the sparse core by default; BenchmarkMetroScale measures it. It is
+// MetroScaleSpec resolved — one code path with dtnd specs.
+func MetroScale() Scenario {
+	return mustResolve(MetroScaleSpec())
 }
 
 // mustResolve resolves a known-good built-in spec.
@@ -237,11 +254,12 @@ var routerFactories = map[Protocol]func(s Scenario, reg *community.Registry) fun
 	},
 	CR: func(s Scenario, reg *community.Registry) func() network.Router {
 		cfg := routing.CRConfig{Lambda: s.Lambda, Alpha: s.Alpha, Window: s.Window,
-			SparseEstimators: s.sparseEstimators(), MaxSparseRows: s.MaxSparseRows}
+			SparseEstimators: s.sparseEstimators(), MaxSparseRows: s.MaxSparseRows,
+			Gossip: s.gossipMode()}
 		return routing.CRFactory(cfg, reg)
 	},
 	MaxProp: func(s Scenario, _ *community.Registry) func() network.Router {
-		return routing.MaxPropFactory(s.Nodes, s.sparseEstimators(), s.MaxSparseRows)
+		return routing.MaxPropFactory(s.Nodes, s.sparseEstimators(), s.MaxSparseRows, s.gossipMode())
 	},
 	EBR: func(s Scenario, _ *community.Registry) func() network.Router {
 		return func() network.Router { return routing.NewEBR(s.Lambda) }
@@ -355,7 +373,19 @@ func (s Scenario) eerConfig() routing.EERConfig {
 		ForwardHysteresis: s.ForwardHysteresis,
 		SparseEstimators:  s.sparseEstimators(),
 		MaxSparseRows:     s.MaxSparseRows,
+		Gossip:            s.gossipMode(),
 	}
+}
+
+// gossipMode parses the scenario's gossip mode name. Specs validate the
+// name up front; a bad name reaching a hand-built Scenario panics like
+// every other malformed Scenario field.
+func (s Scenario) gossipMode() core.ExchangeMode {
+	m, err := core.ParseExchangeMode(s.Gossip)
+	if err != nil {
+		panic("experiment: " + err.Error())
+	}
+	return m
 }
 
 // Run executes the scenario to completion and returns its metrics.

@@ -7,9 +7,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/network"
 )
 
 // This file is the declarative face of the experiment layer: ScenarioSpec
@@ -34,7 +37,7 @@ const SpecVersion = 1
 type ScenarioSpec struct {
 	// Preset names the base scenario: "default" (or empty), "quick",
 	// "figure2" (alias of default — the Figure-2 column base; pick
-	// protocol and nodes per point) or "cityscale".
+	// protocol and nodes per point), "cityscale" or "metroscale".
 	Preset string `json:"preset,omitempty"`
 
 	Protocol *string `json:"protocol,omitempty"`
@@ -49,11 +52,16 @@ type ScenarioSpec struct {
 	ForwardHysteresis *float64 `json:"forward_hysteresis,omitempty"`
 	SparseEstimators  *bool    `json:"sparse_estimators,omitempty"`
 	MaxSparseRows     *int     `json:"max_sparse_rows,omitempty"`
+	// Gossip selects the estimator exchange metering: "fresher" (default),
+	// "flood" or "delta" (see Scenario.Gossip).
+	Gossip *string `json:"gossip,omitempty"`
 
 	// Simulation parameters.
 	Duration *float64 `json:"duration,omitempty"`
 	Tick     *float64 `json:"tick,omitempty"`
-	Shards   *int     `json:"shards,omitempty"`
+	// Shards accepts a worker count or the string "auto" (size to the
+	// machine's cores at run time).
+	Shards *ShardCount `json:"shards,omitempty"`
 
 	// Physical layer.
 	Range     *float64 `json:"range,omitempty"`
@@ -88,6 +96,55 @@ type MapSpec struct {
 	Lines        *int     `json:"lines,omitempty"`
 	StopsPerLine *int     `json:"stops_per_line,omitempty"`
 	Districts    *int     `json:"districts,omitempty"`
+}
+
+// ShardCount is a spec-level shard count: a JSON number, or the string
+// "auto" for network.AutoShards (resolve to the machine's core count when
+// the world is built — the right setting for presets that must scale to
+// whatever machine runs them, like metroscale).
+type ShardCount int
+
+// AutoShards mirrors network.AutoShards at the spec level.
+const AutoShards = ShardCount(network.AutoShards)
+
+// UnmarshalJSON accepts a non-negative integer or the string "auto".
+func (c *ShardCount) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		if s != "auto" {
+			return fmt.Errorf("bad shards %q (want a count or \"auto\")", s)
+		}
+		*c = AutoShards
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("bad shards %s (want a count or \"auto\")", data)
+	}
+	*c = ShardCount(n)
+	return nil
+}
+
+// MarshalJSON emits "auto" for the sentinel so specs round-trip.
+func (c ShardCount) MarshalJSON() ([]byte, error) {
+	if c < 0 {
+		return []byte(`"auto"`), nil
+	}
+	return json.Marshal(int(c))
+}
+
+// ParseShards parses a command-line shard count: a number, or "auto" for
+// network.AutoShards. The CLIs share it so every -shards flag speaks the
+// same dialect as the spec field.
+func ParseShards(s string) (int, error) {
+	if s == "auto" {
+		return network.AutoShards, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad shards %q (want a count or \"auto\")", s)
+	}
+	return n, nil
 }
 
 // ptr returns a pointer to v — spec-literal shorthand.
@@ -129,6 +186,41 @@ func CityScaleSpec() ScenarioSpec {
 	}
 }
 
+// MetroScaleSpec declares the 100k-node metropolitan scenario: a city map
+// double CityScale's extent with triple the transit lines and districts,
+// auto-sized tick sharding (sub-grid re-bucketing keeps the serial merge
+// boundary-only at this density) and delta gossip — at 100k nodes a smart
+// protocol's link-state exchange is the dominant byte stream, so the
+// estimator runs the digest protocol rather than the accounting-only
+// default. The default protocol is EER over the sparse estimator core;
+// Duration is kept short (the fleet covers the map from tick one, so even
+// minutes of simulated time exercise steady-state churn) and can be
+// overridden for long-horizon runs.
+func MetroScaleSpec() ScenarioSpec {
+	return ScenarioSpec{
+		Protocol:       ptr(string(EER)),
+		Nodes:          ptr(100_000),
+		Mobility:       ptr("city"),
+		Duration:       ptr(300.0),
+		Tick:           ptr(0.5),
+		Shards:         ptr(AutoShards),
+		Gossip:         ptr("delta"),
+		MaxSparseRows:  ptr(256),
+		MsgIntervalMin: ptr(5.0),
+		MsgIntervalMax: ptr(10.0),
+		Map: &MapSpec{
+			Width:        ptr(24000.0),
+			Height:       ptr(18000.0),
+			GridX:        ptr(60),
+			GridY:        ptr(45),
+			Diagonals:    ptr(12),
+			Lines:        ptr(120),
+			StopsPerLine: ptr(10),
+			Districts:    ptr(24),
+		},
+	}
+}
+
 // Figure2Spec declares one cell of the paper's Figure-2 sweep — protocol p
 // at the given node count — as a spec over the default (Section V-A) base.
 func Figure2Spec(p Protocol, nodes int, seeds []int64) ScenarioSpec {
@@ -145,10 +237,11 @@ func Figure2Spec(p Protocol, nodes int, seeds []int64) ScenarioSpec {
 // same resolve path as user-authored specs.
 func PresetSpecs() map[string]ScenarioSpec {
 	return map[string]ScenarioSpec{
-		"default":   {},
-		"figure2":   {},
-		"quick":     QuickSpec(),
-		"cityscale": CityScaleSpec(),
+		"default":    {},
+		"figure2":    {},
+		"quick":      QuickSpec(),
+		"cityscale":  CityScaleSpec(),
+		"metroscale": MetroScaleSpec(),
 	}
 }
 
@@ -161,8 +254,10 @@ func presetScenario(name string) (Scenario, error) {
 		return QuickSpec().apply(Default()), nil
 	case "cityscale":
 		return CityScaleSpec().apply(Default()), nil
+	case "metroscale":
+		return MetroScaleSpec().apply(Default()), nil
 	default:
-		return Scenario{}, fmt.Errorf("unknown preset %q (have default, figure2, quick, cityscale)", name)
+		return Scenario{}, fmt.Errorf("unknown preset %q (have default, figure2, quick, cityscale, metroscale)", name)
 	}
 }
 
@@ -193,6 +288,9 @@ func (sp ScenarioSpec) apply(base Scenario) Scenario {
 	if sp.MaxSparseRows != nil {
 		s.MaxSparseRows = *sp.MaxSparseRows
 	}
+	if sp.Gossip != nil {
+		s.Gossip = *sp.Gossip
+	}
 	if sp.Duration != nil {
 		s.Duration = *sp.Duration
 	}
@@ -200,7 +298,7 @@ func (sp ScenarioSpec) apply(base Scenario) Scenario {
 		s.Tick = *sp.Tick
 	}
 	if sp.Shards != nil {
-		s.Shards = *sp.Shards
+		s.Shards = int(*sp.Shards)
 	}
 	if sp.Range != nil {
 		s.Range = *sp.Range
@@ -347,8 +445,8 @@ func validateScenario(s Scenario) error {
 	if s.Duration/s.Tick > maxTicks {
 		return fmt.Errorf("duration/tick = %g steps exceeds the %d-step job ceiling", s.Duration/s.Tick, maxTicks)
 	}
-	if s.Shards < 0 || s.Shards > maxShards {
-		return fmt.Errorf("shards must be in [0, %d], got %d", maxShards, s.Shards)
+	if (s.Shards < 0 && s.Shards != network.AutoShards) || s.Shards > maxShards {
+		return fmt.Errorf("shards must be in [0, %d] or %d (auto), got %d", maxShards, network.AutoShards, s.Shards)
 	}
 	if s.Range <= 0 || s.Bandwidth <= 0 {
 		return fmt.Errorf("range and bandwidth must be positive, got %g and %g", s.Range, s.Bandwidth)
@@ -369,6 +467,9 @@ func validateScenario(s Scenario) error {
 	}
 	if s.MaxSparseRows < 0 {
 		return fmt.Errorf("max_sparse_rows must be >= 0, got %d", s.MaxSparseRows)
+	}
+	if _, err := core.ParseExchangeMode(s.Gossip); err != nil {
+		return err
 	}
 	if s.Map.GridX < 2 || s.Map.GridY < 2 || s.Map.Lines < 1 || s.Map.StopsPerLine < 2 ||
 		s.Map.Districts < 1 || s.Map.Width <= 0 || s.Map.Height <= 0 {

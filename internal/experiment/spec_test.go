@@ -22,6 +22,7 @@ func TestSpecPresetRoundTrip(t *testing.T) {
 		{"default", ScenarioSpec{}, Default()},
 		{"quick", QuickSpec(), Quick()},
 		{"cityscale", CityScaleSpec(), CityScale()},
+		{"metroscale", MetroScaleSpec(), MetroScale()},
 		{"figure2 cell", Figure2Spec(MaxProp, 160, nil), withNodesProto(Default(), 160, MaxProp)},
 	}
 	for _, c := range cases {
@@ -96,7 +97,7 @@ func TestSpecValidation(t *testing.T) {
 		{"zero lambda", "lambda", ScenarioSpec{Lambda: ptr(0)}},
 		{"negative duration", "duration", ScenarioSpec{Duration: ptr(-1.0)}},
 		{"zero tick", "tick", ScenarioSpec{Tick: ptr(0.0)}},
-		{"negative shards", "shards", ScenarioSpec{Shards: ptr(-2)}},
+		{"negative shards", "shards", ScenarioSpec{Shards: ptr(ShardCount(-2))}},
 		{"zero range", "range", ScenarioSpec{Range: ptr(0.0)}},
 		{"zero msg size", "message size", ScenarioSpec{MsgSize: ptr(0)}},
 		{"zero ttl", "ttl", ScenarioSpec{TTL: ptr(0.0)}},
@@ -109,7 +110,7 @@ func TestSpecValidation(t *testing.T) {
 		{"too many ticks", "step", ScenarioSpec{Duration: ptr(1e9), Tick: ptr(0.01)}},
 		{"too much traffic", "message", ScenarioSpec{MsgIntervalMin: ptr(1e-9), MsgIntervalMax: ptr(1e-9)}},
 		{"too many seeds", "seeds", ScenarioSpec{Seeds: make([]int64, 65)}},
-		{"too many shards", "shards", ScenarioSpec{Shards: ptr(100000)}},
+		{"too many shards", "shards", ScenarioSpec{Shards: ptr(ShardCount(100000))}},
 	}
 	for _, c := range cases {
 		if _, err := c.spec.Scenario(); err == nil || !strings.Contains(err.Error(), c.wantErr) {

@@ -25,9 +25,10 @@ type Collector struct {
 	hopSum     int
 	latencies  []float64
 
-	gossipRows    int
-	gossipEntries int
-	gossipBytes   int
+	gossipRows        int
+	gossipEntries     int
+	gossipBytes       int
+	gossipDigestBytes int
 
 	deliveredIDs map[int]bool
 	createdAt    map[int]float64
@@ -90,13 +91,16 @@ func (c *Collector) TransferAborted() { c.aborts++ }
 // EstimatorExchanged records one direction's worth of estimator link-state
 // gossip (MI rows, MaxProp probability vectors) copied during a contact:
 // rows replaced because the sender's were fresher, the known entries those
-// rows carried, and the serialized volume they stand for. Metadata exchange
-// is free in the simulated link model (matching ONE and the paper's cost
-// accounting); these counters make its volume visible in run summaries.
-func (c *Collector) EstimatorExchanged(rows, entries, bytes int) {
+// rows carried, and the serialized volume they stand for — bytes already
+// includes digestBytes, the digest/request overhead a delta exchange adds
+// (0 in the legacy fresher accounting). Metadata exchange is free in the
+// simulated link model (matching ONE and the paper's cost accounting);
+// these counters make its volume visible in run summaries.
+func (c *Collector) EstimatorExchanged(rows, entries, bytes, digestBytes int) {
 	c.gossipRows += rows
 	c.gossipEntries += entries
 	c.gossipBytes += bytes
+	c.gossipDigestBytes += digestBytes
 }
 
 // GossipBytes returns the accumulated estimator exchange volume in bytes.
@@ -197,9 +201,14 @@ type Summary struct {
 
 	// Estimator exchange volume: link-state rows gossiped at contacts, the
 	// known entries they carried, and their serialized byte volume.
-	GossipRows    int `json:"gossip_rows"`
-	GossipEntries int `json:"gossip_entries"`
-	GossipBytes   int `json:"gossip_bytes"`
+	// GossipDigestBytes breaks out the digest/request overhead of delta
+	// gossip (already included in GossipBytes); zero under the legacy
+	// fresher accounting, and omitted from JSON then so historical figure
+	// fixtures stay byte-identical.
+	GossipRows        int `json:"gossip_rows"`
+	GossipEntries     int `json:"gossip_entries"`
+	GossipBytes       int `json:"gossip_bytes"`
+	GossipDigestBytes int `json:"gossip_digest_bytes,omitempty"`
 
 	DeliveryRatio float64 `json:"delivery_ratio"`
 	AvgLatency    float64 `json:"avg_latency"`
@@ -219,9 +228,10 @@ func (c *Collector) Summary() Summary {
 		Aborts:        c.aborts,
 		Expired:       c.expired,
 		Contacts:      c.contacts,
-		GossipRows:    c.gossipRows,
-		GossipEntries: c.gossipEntries,
-		GossipBytes:   c.gossipBytes,
+		GossipRows:        c.gossipRows,
+		GossipEntries:     c.gossipEntries,
+		GossipBytes:       c.gossipBytes,
+		GossipDigestBytes: c.gossipDigestBytes,
 		DeliveryRatio: c.DeliveryRatio(),
 		AvgLatency:    c.AvgLatency(),
 		MedianLatency: c.MedianLatency(),
@@ -272,6 +282,7 @@ func Mean(ss []Summary) Summary {
 		out.GossipRows += s.GossipRows
 		out.GossipEntries += s.GossipEntries
 		out.GossipBytes += s.GossipBytes
+		out.GossipDigestBytes += s.GossipDigestBytes
 		out.DeliveryRatio += s.DeliveryRatio
 		out.AvgLatency += s.AvgLatency
 		out.MedianLatency += s.MedianLatency
@@ -289,6 +300,7 @@ func Mean(ss []Summary) Summary {
 	out.GossipRows = int(float64(out.GossipRows)/n + 0.5)
 	out.GossipEntries = int(float64(out.GossipEntries)/n + 0.5)
 	out.GossipBytes = int(float64(out.GossipBytes)/n + 0.5)
+	out.GossipDigestBytes = int(float64(out.GossipDigestBytes)/n + 0.5)
 	out.DeliveryRatio /= n
 	out.AvgLatency /= n
 	out.MedianLatency /= n

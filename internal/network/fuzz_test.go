@@ -65,6 +65,10 @@ func FuzzGridParity(f *testing.F) {
 		}
 		ws, rs, ps := build(cfg)
 		wp, rp, pp := build(shardedCfg)
+		// Narrow sub-grid stripes: teleports and even small moves cross
+		// region boundaries constantly, stressing the parallel-safe
+		// classification and the serial boundary reconcile.
+		wp.grid.stripe = 4
 
 		signed := func(b byte, scale float64) float64 { return (float64(b) - 128) * scale }
 		const maxTicks = 64

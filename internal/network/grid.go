@@ -34,6 +34,18 @@ import (
 // intervals for pairs already known to the tracker; with MaxSpeed == 0
 // (unknown bound, e.g. scripted or trace-replay movers) tracked pairs are
 // simply re-checked every tick.
+//
+// Sub-grids (sharded worlds): the grid is split into `regions` independent
+// open-addressed tables over a static spatial partition — vertical stripes
+// of gridStripeCells cells, striped round-robin across regions. A cell's
+// table depends only on its x coordinate, so region membership is a pure
+// function of position and never migrates. The sharded tick path re-buckets
+// movers that stay inside one region on one goroutine per region (all
+// mutations — removal, insertion, table growth — touch only that region's
+// table); only stripe-boundary crossings fall back to the serial merge.
+// With regions == 1 (the serial path) the exact single-table behaviour is
+// preserved. See shard.go for the phase structure and DESIGN.md for the
+// safety argument.
 
 // gridSlot is one open-addressed bucket: the nodes currently inside one
 // grid cell, kept in ascending id order so scans are deterministic.
@@ -47,23 +59,32 @@ type gridSlot struct {
 	emptySince uint64 // epoch the bucket last became empty (diagnostics/compaction)
 	nodes      []int32
 
-	// nbr caches the slot indices of the 3x3 cell neighbourhood (-1 for
-	// cells with no bucket), valid while nbrGen matches the grid's
-	// layoutGen. Neighbourhood scans are the engine's hottest loop; the
-	// cache removes all nine hash probes from the steady state.
+	// nbr caches packed (region, slot) references of the 3x3 cell
+	// neighbourhood (-1 for cells with no bucket), valid while nbrGen
+	// matches the layout-generation sum of the regions the neighbourhood
+	// spans (gensum). Neighbourhood scans are the engine's hottest loop;
+	// the cache removes all nine hash probes from the steady state.
 	nbrGen uint64
-	nbr    [9]int32
+	nbr    [9]int64
+}
+
+// gridTable is one region's open-addressed hash table of buckets.
+type gridTable struct {
+	slots     []gridSlot
+	mask      uint32
+	used      int    // occupied (used==true) slot count, including empty buckets
+	layoutGen uint64 // bumped on growth: slot indices into this table are stale
 }
 
 // cellGrid is the persistent spatial hash over node positions with cell
 // size equal to the radio range, so in-range pairs always sit in the same
-// or adjacent cells.
+// or adjacent cells. Buckets live in per-region tables (one region when
+// serial).
 type cellGrid struct {
-	cell      float64
-	slots     []gridSlot
-	mask      uint32
-	used      int    // occupied (used==true) slot count, including empty buckets
-	layoutGen uint64 // bumped on bucket creation and growth: neighbour caches stale
+	cell    float64
+	regions int   // region (sub-grid table) count; 1 = unpartitioned
+	stripe  int32 // stripe width of the static partition, in cells
+	tables  []gridTable
 
 	cellOf    []uint64 // per node: packed cell key of the current bucket
 	slotOf    []int32  // per node: slot index of the current bucket, -1 if none
@@ -73,14 +94,30 @@ type cellGrid struct {
 	epoch     uint64   // advanced once per tick by the world
 }
 
-func (g *cellGrid) init(cell float64) {
+// gridStripeCells is the stripe width of the static spatial partition in
+// cells. It must be >= 4 so a stripe has interior cells whose whole
+// two-ring (the cells a bucket creation may read or patch) stays inside
+// one region; tests shrink it to force boundary traffic.
+const gridStripeCells = 32
+
+const gridInitialSlots = 256
+
+func (g *cellGrid) init(cell float64, regions int) {
 	g.cell = cell
-	const initialSlots = 256
-	g.slots = make([]gridSlot, initialSlots)
-	g.mask = initialSlots - 1
-	// Fresh slots carry nbrGen 0; starting the layout generation above it
-	// keeps their zeroed neighbour caches from ever reading as valid.
-	g.layoutGen = 1
+	if regions < 1 {
+		regions = 1
+	}
+	g.regions = regions
+	g.stripe = gridStripeCells
+	g.tables = make([]gridTable, regions)
+	for r := range g.tables {
+		t := &g.tables[r]
+		t.slots = make([]gridSlot, gridInitialSlots)
+		t.mask = gridInitialSlots - 1
+		// Fresh slots carry nbrGen 0; starting the layout generation above
+		// it keeps their zeroed neighbour caches from ever reading as valid.
+		t.layoutGen = 1
+	}
 }
 
 // ensure sizes the per-node bookkeeping for n nodes.
@@ -98,6 +135,54 @@ func cellKeyOf(cx, cy int32) uint64 {
 	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
 }
 
+// floorDiv32 is floored (not truncated) integer division for b > 0, so
+// stripes tile negative coordinates seamlessly.
+func floorDiv32(a, b int32) int32 {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// regionOfCx returns the region owning cell column cx: stripes of g.stripe
+// columns assigned round-robin across regions.
+func (g *cellGrid) regionOfCx(cx int32) int {
+	if g.regions == 1 {
+		return 0
+	}
+	r := int(floorDiv32(cx, g.stripe)) % g.regions
+	if r < 0 {
+		r += g.regions
+	}
+	return r
+}
+
+func (g *cellGrid) regionOfKey(key uint64) int {
+	return g.regionOfCx(int32(uint32(key >> 32)))
+}
+
+// gensum is the neighbour-cache validity stamp for a bucket in cell column
+// cx: the sum of the layout generations of the regions its 3x3
+// neighbourhood can span (columns cx-1..cx+1). Generations only grow, so
+// the sum strictly increases whenever any involved table reorganises,
+// invalidating exactly the caches whose stored slot indices could have
+// moved.
+func (g *cellGrid) gensum(cx int32) uint64 {
+	if g.regions == 1 {
+		return 3 * g.tables[0].layoutGen
+	}
+	return g.tables[g.regionOfCx(cx-1)].layoutGen +
+		g.tables[g.regionOfCx(cx)].layoutGen +
+		g.tables[g.regionOfCx(cx+1)].layoutGen
+}
+
+// packSlot packs a (region, slot) bucket reference into one int64 cache
+// entry; -1 marks "no bucket".
+func packSlot(region int, slot int32) int64 {
+	return int64(region)<<32 | int64(uint32(slot))
+}
+
 // hash64 is the splitmix64 finaliser; cell keys are sequential in each
 // coordinate, so they need real mixing before masking.
 func hash64(x uint64) uint64 {
@@ -111,14 +196,14 @@ func hash64(x uint64) uint64 {
 
 // findSlot returns the slot index for key, probing linearly from its hash.
 // If absent it returns the first free slot (not yet marked used).
-func (g *cellGrid) findSlot(key uint64) int32 {
-	i := uint32(hash64(key)) & g.mask
+func (t *gridTable) findSlot(key uint64) int32 {
+	i := uint32(hash64(key)) & t.mask
 	for {
-		s := &g.slots[i]
+		s := &t.slots[i]
 		if !s.used || s.key == key {
 			return int32(i)
 		}
-		i = (i + 1) & g.mask
+		i = (i + 1) & t.mask
 	}
 }
 
@@ -126,14 +211,15 @@ func (g *cellGrid) findSlot(key uint64) int32 {
 // sat empty for more than one wheel revolution are reclaimed — their epoch
 // stamp proves no node has been near them recently — while freshly-emptied
 // ones are kept so cells on active routes are not churned. Node slot
-// indices are rebuilt and every neighbour cache is invalidated via the
-// layout generation.
-func (g *cellGrid) grow() {
-	old := g.slots
-	g.slots = make([]gridSlot, len(old)*2)
-	g.mask = uint32(len(g.slots) - 1)
-	g.used = 0
-	g.layoutGen++
+// indices are rebuilt and every neighbour cache referencing this table is
+// invalidated via the layout generation (all mutations stay within this
+// region: nodes bucketed here have their current cell here by definition).
+func (t *gridTable) grow(g *cellGrid) {
+	old := t.slots
+	t.slots = make([]gridSlot, len(old)*2)
+	t.mask = uint32(len(t.slots) - 1)
+	t.used = 0
+	t.layoutGen++
 	for i := range old {
 		s := &old[i]
 		if !s.used {
@@ -142,39 +228,44 @@ func (g *cellGrid) grow() {
 		if len(s.nodes) == 0 && g.epoch > s.emptySince+wheelSize {
 			continue
 		}
-		j := g.findSlot(s.key)
-		g.slots[j] = gridSlot{key: s.key, used: true, emptySince: s.emptySince, nodes: s.nodes}
-		g.used++
+		j := t.findSlot(s.key)
+		t.slots[j] = gridSlot{key: s.key, used: true, emptySince: s.emptySince, nodes: s.nodes}
+		t.used++
 		for _, id := range s.nodes {
 			g.slotOf[id] = j
 		}
 	}
 }
 
-// patchNeighborCaches splices freshly-created bucket j for cell key into
-// the still-valid neighbour caches around it, so a bucket creation does
-// not invalidate every cache in the table.
-func (g *cellGrid) patchNeighborCaches(j int32, key uint64) {
+// patchNeighborCaches splices freshly-created bucket j (region r) for cell
+// key into the still-valid neighbour caches around it, so a bucket
+// creation does not invalidate every cache in the table.
+func (g *cellGrid) patchNeighborCaches(r int, j int32, key uint64) {
 	cx := int32(uint32(key >> 32))
 	cy := int32(uint32(key))
 	for dx := int32(-1); dx <= 1; dx++ {
+		ncx := cx + dx
+		nr := g.regionOfCx(ncx)
+		nt := &g.tables[nr]
 		for dy := int32(-1); dy <= 1; dy++ {
 			if dx == 0 && dy == 0 {
 				continue
 			}
-			ni := g.findSlot(cellKeyOf(cx+dx, cy+dy))
-			ns := &g.slots[ni]
-			if !ns.used || ns.nbrGen != g.layoutGen {
+			ni := nt.findSlot(cellKeyOf(ncx, cy+dy))
+			ns := &nt.slots[ni]
+			if !ns.used || ns.nbrGen != g.gensum(ncx) {
 				continue
 			}
 			// The neighbour sees the new cell at the inverse offset.
-			ns.nbr[(1-dx)*3+(1-dy)] = j
+			ns.nbr[(1-dx)*3+(1-dy)] = packSlot(r, j)
 		}
 	}
 }
 
 // update re-buckets node i at position pos and reports whether its cell
-// changed (including first insertion).
+// changed (including first insertion). The sharded path calls it from one
+// goroutine per region for movers rebucketParallelSafe vouched for, and
+// serially for everything else.
 func (g *cellGrid) update(i int32, pos geo.Point) bool {
 	cx := int32(math.Floor(pos.X / g.cell))
 	cy := int32(math.Floor(pos.Y / g.cell))
@@ -190,13 +281,15 @@ func (g *cellGrid) update(i int32, pos geo.Point) bool {
 		g.prevValid[i] = false
 	}
 	g.moveEpoch[i] = g.epoch
-	j := g.findSlot(key)
-	s := &g.slots[j]
+	r := g.regionOfCx(cx)
+	t := &g.tables[r]
+	j := t.findSlot(key)
+	s := &t.slots[j]
 	if !s.used {
 		s.used = true
 		s.key = key
-		g.used++
-		g.patchNeighborCaches(j, key)
+		t.used++
+		g.patchNeighborCaches(r, j, key)
 	}
 	// Insert keeping ascending id order (buckets are small).
 	s.nodes = append(s.nodes, i)
@@ -205,27 +298,52 @@ func (g *cellGrid) update(i int32, pos geo.Point) bool {
 	}
 	g.cellOf[i] = key
 	g.slotOf[i] = j
-	if g.used*4 > len(g.slots)*3 {
-		g.grow()
+	if t.used*4 > len(t.slots)*3 {
+		t.grow(g)
 	}
 	return true
 }
 
-// cellChanged reports whether update(i, pos) would re-bucket node i,
-// without mutating anything. The sharded tick path calls it concurrently
-// from shard workers (no grid writer may run at the same time); the serial
-// merge then calls update only for flagged nodes, which reproduces the
-// serial path's moved set exactly.
-func (g *cellGrid) cellChanged(i int32, pos geo.Point) bool {
-	cx := int32(math.Floor(pos.X / g.cell))
-	cy := int32(math.Floor(pos.Y / g.cell))
-	return g.slotOf[i] < 0 || g.cellOf[i] != cellKeyOf(cx, cy)
+// rebucketParallelSafe reports whether re-bucketing node i into cell
+// (cx, key) mutates only that cell's own region, so the sharded tick may
+// run it on the region's goroutine. It must hold until the re-bucket
+// executes, given that only region goroutines (region-local mutations) run
+// in between. True when the node stays in one region and either
+//
+//   - the destination column is interior to its stripe with a 2-column
+//     margin, so a bucket creation's cache patching (columns cx±1) and the
+//     gensum reads it performs (columns cx±2) stay inside the region, or
+//   - the destination bucket already exists and is non-empty, so no
+//     creation happens (non-empty this tick means grow cannot reclaim it
+//     before the re-bucket runs: reclaim needs a whole wheel revolution of
+//     emptiness).
+//
+// It only reads the grid; the sharded phase that calls it runs no mutator.
+func (g *cellGrid) rebucketParallelSafe(i int32, cx int32, key uint64) bool {
+	if g.regions == 1 {
+		return true
+	}
+	r := g.regionOfCx(cx)
+	if g.slotOf[i] >= 0 && g.regionOfKey(g.cellOf[i]) != r {
+		return false
+	}
+	m := cx % g.stripe
+	if m < 0 {
+		m += g.stripe
+	}
+	if m >= 2 && m <= g.stripe-3 {
+		return true
+	}
+	t := &g.tables[r]
+	s := &t.slots[t.findSlot(key)]
+	return s.used && len(s.nodes) > 0
 }
 
 // removeFromBucket takes node i out of its current bucket, preserving
 // order.
 func (g *cellGrid) removeFromBucket(i int32) {
-	s := &g.slots[g.slotOf[i]]
+	t := &g.tables[g.regionOfKey(g.cellOf[i])]
+	s := &t.slots[g.slotOf[i]]
 	for k, id := range s.nodes {
 		if id == i {
 			s.nodes = append(s.nodes[:k], s.nodes[k+1:]...)
@@ -238,41 +356,57 @@ func (g *cellGrid) removeFromBucket(i int32) {
 	g.slotOf[i] = -1
 }
 
-// neighborSlots returns the cached 3x3 neighbour slot indices (-1 where
-// no bucket exists) of the bucket at slot idx, recomputing the cache when
-// the table layout changed. Index k maps to offset (k/3-1, k%3-1).
-func (g *cellGrid) neighborSlots(idx int32) *[9]int32 {
-	s := &g.slots[idx]
-	if s.nbrGen != g.layoutGen {
-		cx := int32(uint32(s.key >> 32))
-		cy := int32(uint32(s.key))
+// neighborSlots returns the cached 3x3 neighbour bucket references (-1
+// where no bucket exists) of node i's bucket, recomputing the cache when
+// any involved table's layout changed. Index k maps to offset
+// (k/3-1, k%3-1). The sharded path calls it from the goroutine owning the
+// bucket's region (the only writer of its cache) while no table mutates;
+// the cross-region probes are plain reads.
+func (g *cellGrid) neighborSlots(i int32) *[9]int64 {
+	key := g.cellOf[i]
+	cx := int32(uint32(key >> 32))
+	cy := int32(uint32(key))
+	s := &g.tables[g.regionOfCx(cx)].slots[g.slotOf[i]]
+	gen := g.gensum(cx)
+	if s.nbrGen != gen {
 		k := 0
 		for dx := int32(-1); dx <= 1; dx++ {
+			ncx := cx + dx
+			nr := g.regionOfCx(ncx)
+			nt := &g.tables[nr]
 			for dy := int32(-1); dy <= 1; dy++ {
-				j := g.findSlot(cellKeyOf(cx+dx, cy+dy))
-				if !g.slots[j].used {
-					j = -1
+				j := nt.findSlot(cellKeyOf(ncx, cy+dy))
+				p := int64(-1)
+				if nt.slots[j].used {
+					p = packSlot(nr, j)
 				}
-				s.nbr[k] = j
+				s.nbr[k] = p
 				k++
 			}
 		}
-		s.nbrGen = g.layoutGen
+		s.nbrGen = gen
 	}
 	return &s.nbr
 }
 
-// neighborsCached returns the 3x3 neighbour slot indices of the bucket at
-// slot idx, requiring the cache to be warm already. Shard workers use it
+// neighborsCached returns the 3x3 neighbour bucket references of node i's
+// bucket, requiring the cache to be warm already. Shard workers use it
 // concurrently: unlike neighborSlots it never writes, so concurrent scans
-// of one bucket are race-free. The serial merge phase warms the caches of
-// every moved node's bucket (the only buckets scanned) before workers run.
-func (g *cellGrid) neighborsCached(idx int32) *[9]int32 {
-	s := &g.slots[idx]
-	if s.nbrGen != g.layoutGen {
+// of one bucket are race-free. The cache-warming phase covers every moved
+// node's bucket (the only buckets scanned) before workers run.
+func (g *cellGrid) neighborsCached(i int32) *[9]int64 {
+	key := g.cellOf[i]
+	cx := int32(uint32(key >> 32))
+	s := &g.tables[g.regionOfCx(cx)].slots[g.slotOf[i]]
+	if s.nbrGen != g.gensum(cx) {
 		panic("network: neighborsCached on a stale neighbour cache")
 	}
 	return &s.nbr
+}
+
+// bucket returns the node list of a packed (region, slot) reference.
+func (g *cellGrid) bucket(p int64) []int32 {
+	return g.tables[p>>32].slots[uint32(p)].nodes
 }
 
 // --- pair re-check scheduler ---

@@ -215,7 +215,7 @@ func TestGridGrowthAndReclaim(t *testing.T) {
 			t.Fatalf("tick %d: pinned contact lost during grid growth (links=%d)", tick, len(w.linkList))
 		}
 	}
-	if len(w.grid.slots) <= 256 {
-		t.Fatalf("table never grew: %d slots", len(w.grid.slots))
+	if len(w.grid.tables[0].slots) <= 256 {
+		t.Fatalf("table never grew: %d slots", len(w.grid.tables[0].slots))
 	}
 }

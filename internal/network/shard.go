@@ -1,11 +1,16 @@
 package network
 
-import "sync"
+import (
+	"math"
+	"sync"
+)
 
 // This file is the sharded tick pipeline selected by Config.Shards > 0:
 // the engine's per-tick work split across a bounded set of shard workers
-// for >10k-node scenarios, with every simulation-state mutation applied in
-// a serial merge phase in exactly the order the single-threaded path uses.
+// for >10k-node scenarios, with every simulation-state mutation applied
+// either inside a region of the partitioned grid (sub-grids, one writer
+// per region) or in a serial merge phase in exactly the order the
+// single-threaded path uses.
 //
 // The determinism contract (same scenario + seed => bit-identical
 // metrics.Summary, identical contact callback order) therefore holds for
@@ -15,12 +20,27 @@ import "sync"
 // Each tick alternates data-parallel phases over disjoint work ranges with
 // serial merges:
 //
-//	A (parallel) advance movers; flag nodes whose grid cell changed.
+//	A (parallel) advance movers; detect cell changes; classify each mover
+//	  as region-local (its re-bucket provably mutates only the
+//	  destination cell's own sub-grid region, see rebucketParallelSafe)
+//	  or boundary (stripe crossings and creations near a stripe edge).
 //	  Movers touch only their own state plus the concurrency-safe
-//	  road-map PathCache; flags land in per-node slots.
-//	A (merge)    re-bucket flagged nodes in ascending id order — the
-//	  identical moved set and grid mutations as the serial path — and
-//	  warm the neighbour caches the next phase reads.
+//	  road-map PathCache; movers land in per-(worker, region) lists whose
+//	  worker-order concatenation is ascending in node id, because workers
+//	  cover ascending contiguous index ranges.
+//	A2 (parallel) re-bucket the region-local movers on one goroutine per
+//	  region — removal, insertion, cache patching and table growth all
+//	  stay inside the region's own table, so regions never share a
+//	  mutable byte. This was the serial merge's dominant cost.
+//	A2 (merge)   re-bucket the boundary movers in ascending id order —
+//	  cross-region cache patching is safe serially. The grid state after
+//	  A2 equals the serial path's exactly: bucket contents are sorted
+//	  sets, per-node prev/epoch stamps depend only on each node's own
+//	  move, and slot indices are unobservable.
+//	A3 (parallel) warm the neighbour caches phase B reads lock-free, one
+//	  goroutine per region (a bucket's cache is written only by the
+//	  region owning it; probes into neighbouring regions are plain reads
+//	  since no table mutates during A3).
 //	B (parallel) scan moved nodes' 3x3 neighbourhoods, collecting
 //	  untracked candidate pairs into per-shard buffers. Purely read-only
 //	  against grid and tracked set.
@@ -41,10 +61,11 @@ import "sync"
 //	  just adds the counts to the metrics collector.
 //
 // Work is chunked by contiguous index ranges (nodes, moved list, due
-// list, link list). Spatial partitioning was considered and rejected:
-// every parallel phase here is data-parallel over an ordered list whose
-// merge must replay serial order, so locality buys nothing while shard
-// migration of moving nodes would complicate the order guarantee.
+// list, link list) except the grid phases A2/A3, which are chunked by
+// grid region: the grid is the one structure where spatial partitioning
+// pays, because re-bucketing mutates shared tables. Node-to-region
+// assignment is a pure function of position (x-stripes), so no state
+// migrates between regions and the ordered merge lists stay trivial.
 
 // Due-pair verdict encoding for phase C. Re-park delays are at most
 // wheelSize-1, so the two sentinels cannot collide with a delay.
@@ -57,16 +78,24 @@ const (
 // write disjoint ranges (or whole per-shard slots) of these; no slice is
 // ever appended to concurrently.
 type shardScratch struct {
-	rebucket []bool       // per node: cell changed this tick (phase A)
+	movedW   [][]int32    // per worker: movers, ascending ids within each worker
+	regW     [][]int32    // [worker*regions+region]: region-local movers (phase A)
+	bndW     [][]int32    // per worker: boundary movers for the serial merge
 	scanBufs [][][2]int32 // per shard: candidate pairs from phase B
 	verdicts []uint64     // per due-list index: phase C classification
 	linkD2   []float64    // per link-list index: phase D distances
 	expired  []int        // per shard: expiry counts from phase E
 }
 
-func (sc *shardScratch) ensure(n, shards int) {
-	if len(sc.rebucket) < n {
-		sc.rebucket = make([]bool, n)
+func (sc *shardScratch) ensure(shards, regions int) {
+	for len(sc.movedW) < shards {
+		sc.movedW = append(sc.movedW, nil)
+	}
+	for len(sc.bndW) < shards {
+		sc.bndW = append(sc.bndW, nil)
+	}
+	for len(sc.regW) < shards*regions {
+		sc.regW = append(sc.regW, nil)
 	}
 	for len(sc.scanBufs) < shards {
 		sc.scanBufs = append(sc.scanBufs, nil)
@@ -110,7 +139,9 @@ func (w *World) parallel(shards, n int, fn func(shard, lo, hi int)) {
 
 // tickSharded is the Shards > 0 twin of the serial Tick + updateContacts
 // pair. Every mutation of grid, scheduler, links, routers and metrics
-// happens on this goroutine in serial-path order; the workers only compute.
+// happens either on one region goroutine (grid sub-table mutations in
+// A2/A3) or on this goroutine in serial-path order; the other workers
+// only compute.
 func (w *World) tickSharded(t float64) {
 	dt := t - w.lastTick
 	w.lastTick = t
@@ -118,29 +149,87 @@ func (w *World) tickSharded(t float64) {
 	tick := w.tickCount
 	w.grid.epoch = tick
 	shards := w.cfg.Shards
+	regions := w.grid.regions
 	n := len(w.nodes)
-	w.shard.ensure(n, shards)
+	w.shard.ensure(shards, regions)
+	g := &w.grid
 
-	// Phase A: advance movers and flag cell changes.
-	w.parallel(shards, n, func(_, lo, hi int) {
+	// Phase A: advance movers, detect cell changes and classify movers.
+	for s := 0; s < shards; s++ {
+		w.shard.movedW[s] = w.shard.movedW[s][:0]
+		w.shard.bndW[s] = w.shard.bndW[s][:0]
+		for r := 0; r < regions; r++ {
+			w.shard.regW[s*regions+r] = w.shard.regW[s*regions+r][:0]
+		}
+	}
+	w.parallel(shards, n, func(shard, lo, hi int) {
+		movedL := w.shard.movedW[shard]
+		bndL := w.shard.bndW[shard]
 		for i := lo; i < hi; i++ {
 			nd := w.nodes[i]
 			nd.pos = nd.Mover.Step(dt)
-			w.shard.rebucket[i] = w.grid.cellChanged(int32(i), nd.pos)
+			cx := int32(math.Floor(nd.pos.X / g.cell))
+			cy := int32(math.Floor(nd.pos.Y / g.cell))
+			key := cellKeyOf(cx, cy)
+			id := int32(i)
+			if g.slotOf[id] >= 0 && g.cellOf[id] == key {
+				continue
+			}
+			movedL = append(movedL, id)
+			if g.rebucketParallelSafe(id, cx, key) {
+				r := shard*regions + g.regionOfCx(cx)
+				w.shard.regW[r] = append(w.shard.regW[r], id)
+			} else {
+				bndL = append(bndL, id)
+			}
+		}
+		w.shard.movedW[shard] = movedL
+		w.shard.bndW[shard] = bndL
+	})
+
+	// Phase A2 (parallel): re-bucket region-local movers, one goroutine
+	// per region; every mutation stays inside the region's table.
+	w.parallel(regions, regions, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			for s := 0; s < shards; s++ {
+				for _, i := range w.shard.regW[s*regions+r] {
+					g.update(i, w.nodes[i].pos)
+				}
+			}
 		}
 	})
-	// Merge A: re-bucket in ascending id order (update recomputes the
-	// cell and returns true for exactly the flagged nodes), then warm the
-	// neighbour caches phase B reads lock-free. grow() inside update may
-	// invalidate caches, so warming strictly follows all updates.
-	moved := w.movedBuf[:0]
-	for i := 0; i < n; i++ {
-		if w.shard.rebucket[i] && w.grid.update(int32(i), w.nodes[i].pos) {
-			moved = append(moved, int32(i))
+	// Merge A2: reconcile the boundary crossings in ascending id order —
+	// the only grid mutations that may touch more than one region.
+	for s := 0; s < shards; s++ {
+		for _, i := range w.shard.bndW[s] {
+			g.update(i, w.nodes[i].pos)
 		}
 	}
-	for _, i := range moved {
-		w.grid.neighborSlots(w.grid.slotOf[i])
+	// Phase A3 (parallel): warm the neighbour caches phase B reads
+	// lock-free, per region (each bucket's cache has one writer). grow()
+	// inside A2 may have invalidated caches, so warming strictly follows
+	// all updates.
+	w.parallel(regions, regions, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			for s := 0; s < shards; s++ {
+				for _, i := range w.shard.regW[s*regions+r] {
+					g.neighborSlots(i)
+				}
+			}
+			for s := 0; s < shards; s++ {
+				for _, i := range w.shard.bndW[s] {
+					if g.regionOfKey(g.cellOf[i]) == r {
+						g.neighborSlots(i)
+					}
+				}
+			}
+		}
+	})
+	// The moved list for phases B+ in ascending id order: workers cover
+	// ascending contiguous ranges, so concatenation preserves order.
+	moved := w.movedBuf[:0]
+	for s := 0; s < shards; s++ {
+		moved = append(moved, w.shard.movedW[s]...)
 	}
 
 	// Phase B: collect untracked candidate pairs around moved nodes.
@@ -268,15 +357,15 @@ func (w *World) collectNeighborhood(i int32, buf [][2]int32) [][2]int32 {
 		pcx = int32(uint32(pk >> 32))
 		pcy = int32(uint32(pk))
 	}
-	nbr := g.neighborsCached(g.slotOf[i])
-	for k, idx := range nbr {
-		if idx < 0 {
+	nbr := g.neighborsCached(i)
+	for k, p := range nbr {
+		if p < 0 {
 			continue
 		}
 		ccx := cx + int32(k/3) - 1
 		ccy := cy + int32(k%3) - 1
 		retained := hadPrev && chebWithin1(ccx, pcx) && chebWithin1(ccy, pcy)
-		for _, j := range g.slots[idx].nodes {
+		for _, j := range g.bucket(p) {
 			if j == i {
 				continue
 			}

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/buffer"
@@ -151,6 +152,55 @@ func TestShardParityMixedMotion(t *testing.T) {
 				compareTraces(t, shards, ref, tr)
 			}
 		})
+	}
+}
+
+// TestShardParityNarrowStripes repeats the mixed-motion sweep with the
+// sub-grid stripe width shrunk to the minimum, so nearly every cell sits
+// in a stripe's boundary band: teleporters and walkers constantly cross
+// region boundaries and almost all re-bucketing funnels through the
+// serial reconcile instead of the per-region parallel phase. Results must
+// not depend on the partition at all.
+func TestShardParityNarrowStripes(t *testing.T) {
+	for _, seed := range []int64{3, 101} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			var ref shardTrace
+			for _, shards := range shardCounts {
+				cfg := Config{Range: 10, Bandwidth: 1000, Shards: shards}
+				w, runner, probes := buildMixedWorld(cfg, seed)
+				w.grid.stripe = 4 // before the first tick buckets anything
+				runMixed(t, w, runner, 250)
+				tr := traceOf(w, probes)
+				if shards == 0 {
+					ref = tr
+					continue
+				}
+				compareTraces(t, shards, ref, tr)
+			}
+		})
+	}
+}
+
+// TestAutoShards pins the AutoShards sentinel: New resolves it to a
+// GOMAXPROCS-derived worker count, and the resolved world still matches
+// the serial reference bit for bit.
+func TestAutoShards(t *testing.T) {
+	runner := sim.NewRunner(1)
+	w := New(Config{Range: 10, Bandwidth: 1000, Shards: AutoShards}, runner)
+	if got, want := w.Config().Shards, runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("AutoShards resolved to %d, want GOMAXPROCS %d", got, want)
+	}
+	var ref shardTrace
+	for _, shards := range []int{0, AutoShards} {
+		cfg := Config{Range: 10, Bandwidth: 1000, Shards: shards}
+		w, runner, probes := buildMixedWorld(cfg, 17)
+		runMixed(t, w, runner, 120)
+		tr := traceOf(w, probes)
+		if shards == 0 {
+			ref = tr
+			continue
+		}
+		compareTraces(t, shards, ref, tr)
 	}
 }
 

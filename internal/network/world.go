@@ -8,6 +8,7 @@ package network
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 
 	"repro/internal/buffer"
@@ -33,13 +34,18 @@ type Config struct {
 	// detection stays exact but tracked pairs are re-checked every tick.
 	MaxSpeed float64
 	// Shards runs the per-tick work (mobility advance, cell-change
-	// detection, pair distance sweeps, expiry sweeps) on that many
-	// goroutines with a deterministic serial merge phase (see shard.go).
-	// 0 (or negative) keeps the single-threaded tick path. Any positive
-	// value produces bit-identical results to Shards == 0; values beyond
-	// GOMAXPROCS or the world size only add scheduling overhead.
+	// detection and re-bucketing, pair distance sweeps, expiry sweeps) on
+	// that many goroutines with a deterministic serial merge phase (see
+	// shard.go). 0 keeps the single-threaded tick path; AutoShards (-1)
+	// picks a GOMAXPROCS-derived count at New. Any value produces
+	// bit-identical results to Shards == 0; values beyond GOMAXPROCS or
+	// the world size only add scheduling overhead.
 	Shards int
 }
+
+// AutoShards, as Config.Shards, selects a GOMAXPROCS-derived shard count
+// when the world is created.
+const AutoShards = -1
 
 // DefaultConfig returns the paper's physical parameters.
 func DefaultConfig() Config {
@@ -80,13 +86,22 @@ func New(cfg Config, runner *sim.Runner) *World {
 	if cfg.ExpirySweepEvery <= 0 {
 		cfg.ExpirySweepEvery = 10
 	}
+	if cfg.Shards < 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	w := &World{
 		Metrics: metrics.New(),
 		cfg:     cfg,
 		runner:  runner,
 		tickDt:  runner.Tick,
 	}
-	w.grid.init(cfg.Range)
+	// One grid region (sub-grid) per shard worker so phase A2 re-buckets
+	// in parallel; the serial path keeps the single unpartitioned table.
+	regions := 1
+	if cfg.Shards > 1 {
+		regions = cfg.Shards
+	}
+	w.grid.init(cfg.Range, regions)
 	runner.AddTicker(w)
 	return w
 }
@@ -292,7 +307,7 @@ func (w *World) establishNewContacts(newPairs [][2]int32, t float64) {
 // lives in collectNeighborhood, shared with the sharded path; tracking the
 // collected pairs in order is exactly what the sharded merge does too.
 func (w *World) scanNeighborhood(i int32, tick uint64) {
-	w.grid.neighborSlots(w.grid.slotOf[i]) // refresh the cache collectNeighborhood reads
+	w.grid.neighborSlots(i) // refresh the cache collectNeighborhood reads
 	w.scanBuf = w.collectNeighborhood(i, w.scanBuf[:0])
 	for _, p := range w.scanBuf {
 		w.sched.track(p[0], p[1], tick)

@@ -24,6 +24,11 @@ type CRConfig struct {
 	// MaxSparseRows caps the sparse intra-community MI store at that many
 	// rows with stale-row eviction (own row pinned); 0 = unbounded.
 	MaxSparseRows int
+
+	// Gossip selects how the intra-community MI exchange is metered (and,
+	// in delta mode, restricted); see core.ExchangeMode. The zero value is
+	// the historical fresher accounting.
+	Gossip core.ExchangeMode
 }
 
 // DefaultCRConfig returns the paper's parameters with quota lambda.
@@ -35,9 +40,21 @@ func DefaultCRConfig(lambda int) CRConfig {
 // registry and one MEMD scratch per community size (dense mode) or one
 // size-independent sparse calculator.
 type crShared struct {
-	reg   *community.Registry
-	memd  map[int]*core.MEMD // keyed by community size; dense mode only
-	smemd *core.SparseMEMD   // sparse mode only
+	reg    *community.Registry
+	memd   map[int]*core.MEMD    // keyed by community size; dense mode only
+	smemd  *core.SparseMEMD      // sparse mode only
+	scopes map[int]core.ScopeSet // keyed by community id; sparse mode only
+}
+
+// scopeFor returns the shared member-id set of community c, built on first
+// use. Router Init runs serially at world build, so no locking.
+func (s *crShared) scopeFor(c int) core.ScopeSet {
+	sc, ok := s.scopes[c]
+	if !ok {
+		sc = core.NewScopeSet(s.reg.Members(c))
+		s.scopes[c] = sc
+	}
+	return sc
 }
 
 func (s *crShared) memdFor(size int) *core.MEMD {
@@ -99,6 +116,7 @@ func CRFactory(cfg CRConfig, reg *community.Registry) func() network.Router {
 	shared := &crShared{reg: reg}
 	if cfg.SparseEstimators {
 		shared.smemd = core.NewSparseMEMD()
+		shared.scopes = make(map[int]core.ScopeSet)
 	} else {
 		shared.memd = make(map[int]*core.MEMD)
 	}
@@ -126,7 +144,7 @@ func (r *CR) Init(self *network.Node, w *network.World) {
 	r.ownComm = r.shared.reg.Of(self.ID)
 	if r.cfg.SparseEstimators {
 		r.hist = core.NewSparseHistory(self.ID, w.N(), r.cfg.Window)
-		mi := core.NewScopedSparseMeetingStore(r.shared.reg.Members(r.ownComm))
+		mi := core.NewSharedScopeSparseMeetingStore(r.shared.scopeFor(r.ownComm))
 		if r.cfg.MaxSparseRows > 0 {
 			mi.SetMaxRows(r.cfg.MaxSparseRows, self.ID)
 		}
@@ -145,8 +163,8 @@ func (r *CR) ContactUp(t float64, peer *network.Node) {
 	r.hist.RecordContact(peer.ID, t)
 	if pr, ok := peer.Router.(*CR); ok && pr.ownComm == r.ownComm {
 		r.intraMI.UpdateOwnRow(r.Self.ID, t, r.hist)
-		st := core.Sync(r.intraMI, pr.intraMI)
-		r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes)
+		st := core.SyncMode(r.intraMI, pr.intraMI, r.Self.ID, peer.ID, r.cfg.Gossip)
+		r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes, st.DigestBytes)
 	}
 	r.contacts[peer.ID] = &crContact{t0: t, decided: make(map[int]crDecision)}
 }

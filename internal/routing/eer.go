@@ -42,6 +42,12 @@ type EERConfig struct {
 	// stale-row eviction (own row pinned); 0 = unbounded. Only meaningful
 	// with SparseEstimators — a bound for long-horizon runs.
 	MaxSparseRows int
+
+	// Gossip selects how the MI exchange at contacts is metered (and, in
+	// delta mode, restricted): core.ExchangeFresher (the zero value, the
+	// historical accounting), ExchangeFlood or ExchangeDelta. All modes
+	// leave identical MI state — only the gossip byte counters differ.
+	Gossip core.ExchangeMode
 }
 
 // DefaultEERConfig returns the paper's parameters with quota lambda.
@@ -201,8 +207,8 @@ func (r *EER) ContactUp(t float64, peer *network.Node) {
 	r.hist.RecordContact(peer.ID, t)
 	r.mi.UpdateOwnRow(r.Self.ID, t, r.hist)
 	if pr, ok := peer.Router.(*EER); ok {
-		st := core.Sync(r.mi, pr.mi)
-		r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes)
+		st := core.SyncMode(r.mi, pr.mi, r.Self.ID, peer.ID, r.cfg.Gossip)
+		r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes, st.DigestBytes)
 	}
 	r.contacts[peer.ID] = r.shared.getContact(t)
 }

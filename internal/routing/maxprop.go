@@ -38,12 +38,24 @@ type MaxProp struct {
 	// rows with stale-row eviction (own row pinned); 0 = unbounded. Only
 	// meaningful with Sparse.
 	MaxSparseRows int
+	// Gossip selects how the vector exchange at contacts is metered (and,
+	// in delta mode, restricted); see core.ExchangeMode. The zero value is
+	// the historical fresher accounting. All modes leave identical
+	// probability state.
+	Gossip core.ExchangeMode
 
 	// Dense storage (nil in sparse mode).
 	probs   [][]float64 // probs[u][v]: u's meeting probability for v
 	updated []float64   // freshness per row; -1 = never
 	cost    []float64   // cached path cost to every node
 	scratch *maxPropShared
+	// Dense delta-gossip bookkeeping, mirroring core.MeetingMatrix's:
+	// version counts local row mutations, rowVer stamps rows with their
+	// last mutation, seen records the version at the end of the last delta
+	// sync with each peer.
+	version uint64
+	rowVer  []uint64
+	seen    map[int]uint64
 
 	// Sparse storage (nil in dense mode).
 	rows *core.SparseRows
@@ -64,13 +76,14 @@ func NewMaxProp() *MaxProp { return &MaxProp{HopThreshold: 7} }
 // MaxPropFactory returns a constructor producing MaxProp routers for n
 // nodes: dense routers sharing one Dijkstra scratch, or self-contained
 // sparse routers whose state grows with observed peers only (optionally
-// capped at maxRows rows each).
-func MaxPropFactory(n int, sparse bool, maxRows int) func() network.Router {
+// capped at maxRows rows each). gossip selects the exchange metering.
+func MaxPropFactory(n int, sparse bool, maxRows int, gossip core.ExchangeMode) func() network.Router {
 	if sparse {
 		return func() network.Router {
 			r := NewMaxProp()
 			r.Sparse = true
 			r.MaxSparseRows = maxRows
+			r.Gossip = gossip
 			return r
 		}
 	}
@@ -78,6 +91,7 @@ func MaxPropFactory(n int, sparse bool, maxRows int) func() network.Router {
 	return func() network.Router {
 		r := NewMaxProp()
 		r.scratch = shared
+		r.Gossip = gossip
 		return r
 	}
 }
@@ -112,6 +126,7 @@ func (r *MaxProp) Init(self *network.Node, w *network.World) {
 		for i := range r.updated {
 			r.updated[i] = -1
 		}
+		r.rowVer = make([]uint64, n)
 		r.cost = make([]float64, n)
 		if r.scratch == nil {
 			r.scratch = newMaxPropShared(n)
@@ -180,27 +195,94 @@ func (r *MaxProp) contactUpDense(t float64, peer *network.Node, pr *MaxProp) {
 		own[i] /= sum
 	}
 	r.updated[self] = t
+	r.version++
+	r.rowVer[self] = r.version
 	r.costValid = false
 	if pr == nil {
 		return
 	}
 	// Vector exchange with per-row freshness, both directions. Entries
 	// counted are the positive probabilities — exactly what a sparse row
-	// stores — so dense and sparse exchange volume agree.
+	// stores — so dense and sparse exchange volume agree. Delta mode
+	// restricts the exchange to rows mutated since the pair's last sync
+	// (always a superset of the strictly-fresher rows; dense storage never
+	// evicts, so the watermark alone is sound), flood meters full vector
+	// transmission; every mode applies the same freshness merge.
 	var st core.ExchangeStats
+	aSeen, bSeen := uint64(0), uint64(0)
+	switch r.Gossip {
+	case core.ExchangeDelta:
+		aSeen, bSeen = r.seen[peer.ID], pr.seen[self]
+		st.AddDigest(r.advertisedCount(aSeen))
+		st.AddDigest(pr.advertisedCount(bSeen))
+	case core.ExchangeFlood:
+		st.Add(r.floodVolume())
+		st.Add(pr.floodVolume())
+	}
+	var moved core.ExchangeStats
 	for i := range r.probs {
 		if pr.updated[i] > r.updated[i] {
+			if r.Gossip == core.ExchangeDelta && pr.rowVer[i] <= bSeen {
+				continue
+			}
 			copy(r.probs[i], pr.probs[i])
 			r.updated[i] = pr.updated[i]
-			st.AddRow(positiveEntries(r.probs[i]))
+			r.version++
+			r.rowVer[i] = r.version
+			moved.AddRow(positiveEntries(r.probs[i]))
 		} else if r.updated[i] > pr.updated[i] {
+			if r.Gossip == core.ExchangeDelta && r.rowVer[i] <= aSeen {
+				continue
+			}
 			copy(pr.probs[i], r.probs[i])
 			pr.updated[i] = r.updated[i]
+			pr.version++
+			pr.rowVer[i] = pr.version
 			pr.costValid = false
+			moved.AddRow(positiveEntries(r.probs[i]))
+		}
+	}
+	switch r.Gossip {
+	case core.ExchangeDelta:
+		st.Add(moved)
+		st.AddRequests(moved.Rows)
+		if r.seen == nil {
+			r.seen = make(map[int]uint64)
+		}
+		if pr.seen == nil {
+			pr.seen = make(map[int]uint64)
+		}
+		r.seen[peer.ID] = r.version
+		pr.seen[self] = pr.version
+	case core.ExchangeFlood:
+		// Volume already accounted pre-merge.
+	default:
+		st = moved
+	}
+	r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes, st.DigestBytes)
+}
+
+// advertisedCount counts the published rows mutated past the watermark —
+// the dense delta digest to one peer.
+func (r *MaxProp) advertisedCount(seen uint64) int {
+	n := 0
+	for i, u := range r.updated {
+		if u >= 0 && r.rowVer[i] > seen {
+			n++
+		}
+	}
+	return n
+}
+
+// floodVolume is the cost of transmitting every published probability row.
+func (r *MaxProp) floodVolume() core.ExchangeStats {
+	var st core.ExchangeStats
+	for i, u := range r.updated {
+		if u >= 0 {
 			st.AddRow(positiveEntries(r.probs[i]))
 		}
 	}
-	r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes)
+	return st
 }
 
 // positiveEntries counts the positive probabilities of a dense row — the
@@ -225,18 +307,21 @@ func (r *MaxProp) contactUpSparse(t float64, peer *network.Node, pr *MaxProp) {
 	own.Set(peer.ID, p+1)
 	own.Div(own.Sum())
 	own.Updated = t
+	r.rows.Touch(own)
 	r.costValid = false
 	if pr == nil {
 		return
 	}
-	// Row exchange with per-row freshness, both directions.
-	st := r.rows.MergeFresher(pr.rows)
-	back := pr.rows.MergeFresher(r.rows)
-	if back.Rows > 0 {
+	// Row exchange with per-row freshness, both directions, metered (and
+	// in delta mode restricted) by the configured gossip mode. The merge
+	// outcome is mode-independent, so invalidating the peer's cost cache
+	// whenever any row moved — rather than only on the return direction —
+	// costs at most a recompute of identical values.
+	st := core.SyncRowsMode(r.rows, pr.rows, r.Self.ID, peer.ID, r.Gossip)
+	if st.Rows > 0 {
 		pr.costValid = false
 	}
-	st.Add(back)
-	r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes)
+	r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes, st.DigestBytes)
 }
 
 // refreshCost recomputes the Σ(1−p) Dijkstra costs from this node.

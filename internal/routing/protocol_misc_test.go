@@ -120,13 +120,13 @@ func TestEBRNeverRelinquishesLastReplicaInSpray(t *testing.T) {
 }
 
 func maxPropHarness(t *testing.T, n int) *harness {
-	f := MaxPropFactory(n, false, 0)
+	f := MaxPropFactory(n, false, 0, 0)
 	return newHarness(t, n, func(int) network.Router { return f() })
 }
 
 func TestMaxPropMeetingProbabilities(t *testing.T) {
 	for _, sparse := range []bool{false, true} {
-		f := MaxPropFactory(4, sparse, 0)
+		f := MaxPropFactory(4, sparse, 0, 0)
 		h := newHarness(t, 4, func(int) network.Router { return f() })
 		// Increment-then-renormalise (Burgess et al.): after (0,1), (0,2),
 		// (0,1) the vector is [0.75, 0.25].

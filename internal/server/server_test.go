@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -252,16 +253,23 @@ func TestDrain(t *testing.T) {
 	go func() { drained <- s.Drain(context.Background()) }()
 
 	// Submissions during the drain are refused once draining is visible.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		_, code := postSpec(t, ts, testSpec)
+	// Probe with a unique spec per attempt: cached results are served
+	// before the draining check by design, so a fixed probe spec would
+	// read 200 forever once its own first job completed and cached —
+	// a race this test lost under a loaded `go test ./...`. Unique
+	// probes accepted before the flag flips are just more jobs for the
+	// drain to wait out.
+	deadline := time.Now().Add(60 * time.Second)
+	for i := 1; ; i++ {
+		probe := fmt.Sprintf(`{"preset": "quick", "protocol": "Direct", "nodes": 16, "duration": 300, "seeds": [%d]}`, i)
+		_, code := postSpec(t, ts, probe)
 		if code == http.StatusServiceUnavailable {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("drain never refused submissions")
+			t.Fatalf("drain never refused submissions (last code %d)", code)
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(10 * time.Millisecond)
 	}
 
 	if err := <-drained; err != nil {
