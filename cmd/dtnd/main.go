@@ -9,6 +9,10 @@
 //	curl -s localhost:8080/v1/jobs -d '{"preset":"quick","protocol":"EER","seeds":[1,2]}'
 //	curl -sN localhost:8080/v1/jobs/j1/stream     # live NDJSON progress
 //	curl -s localhost:8080/v1/jobs/j1             # status + result
+//	curl -s localhost:8080/metrics                # Prometheus text metrics
+//
+// cmd/dtnload load-tests a running daemon and reports req/s + latency
+// percentiles per response class.
 //
 // SIGINT/SIGTERM drain gracefully: accepted jobs finish, new submissions
 // are refused, then the listener closes.

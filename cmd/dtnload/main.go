@@ -1,0 +1,75 @@
+// Command dtnload load-tests a live dtnd: it drives the daemon with many
+// concurrent HTTP clients submitting jobs and sweeps, following NDJSON
+// streams and cancelling mid-flight, then reports requests per second
+// and latency percentiles split by response class (cached vs uncached)
+// plus any protocol violations it observed.
+//
+// Typical runs against a daemon on :8080:
+//
+//	dtnload -clients 200 -requests 5000 -warm            # steady-state cache serving
+//	dtnload -clients 500 -duration 30s -unique 0.05      # 5% fresh simulations mixed in
+//	dtnload -clients 100 -duration 10s -stream 0.3 -cancel 0.1 -sweeps 0.05
+//
+// Exit status is 1 if the run observed any protocol violation — torn
+// statuses, non-monotone progress, streams ending without a terminal
+// line — so it doubles as a smoke check in CI.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "dtnd base URL")
+		clients  = flag.Int("clients", 100, "concurrent client workers")
+		requests = flag.Int("requests", 0, "total submissions to issue (0: run for -duration)")
+		duration = flag.Duration("duration", 10*time.Second, "wall-clock bound when -requests is 0")
+		unique   = flag.Float64("unique", 0, "fraction of submissions with a never-seen spec (forces simulation)")
+		sweeps   = flag.Float64("sweeps", 0, "fraction of submissions that are 2-cell sweeps")
+		stream   = flag.Float64("stream", 0, "fraction of accepted jobs followed via NDJSON stream")
+		cancel   = flag.Float64("cancel", 0, "fraction of accepted jobs cancelled mid-flight")
+		shared   = flag.Int("shared", 8, "shared (cacheable) spec pool size")
+		seed     = flag.Int64("seed", 1, "RNG seed (same seed + mix = same request sequence)")
+		warm     = flag.Bool("warm", false, "pre-run every shared spec so the cached bucket measures pure cache serves")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		BaseURL:     *url,
+		Clients:     *clients,
+		Requests:    *requests,
+		UniqueFrac:  *unique,
+		SweepFrac:   *sweeps,
+		StreamFrac:  *stream,
+		CancelFrac:  *cancel,
+		SharedSpecs: *shared,
+		Seed:        *seed,
+		Warm:        *warm,
+	}
+	if *requests == 0 {
+		cfg.Duration = *duration
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("dtnload: %d clients against %s\n", *clients, *url)
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtnload:", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.String())
+	if len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}

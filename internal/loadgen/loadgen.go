@@ -1,0 +1,596 @@
+// Package loadgen drives a live dtnd with many concurrent HTTP clients
+// and reports what the service actually sustained: requests per second
+// and latency percentiles, split by how the daemon answered (served from
+// cache vs handed a job), plus every protocol violation it observed —
+// torn statuses (done without a result, failed without an error),
+// non-monotone stream fractions, duplicate simulations.
+//
+// The harness is deliberately a pure HTTP client: it exercises dtnd
+// through the same wire surface curl does, so anything it flushes out is
+// a real service bug, not a test-harness artifact. cmd/dtnload wraps it
+// as a CLI; the in-process load smoke test runs it against an
+// httptest.Server under -race.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config shapes one load run. The zero value is not runnable: BaseURL
+// and Clients are required, and exactly one of Requests or Duration
+// bounds the run.
+type Config struct {
+	BaseURL  string        // dtnd root, e.g. "http://127.0.0.1:8080"
+	Clients  int           // concurrent synchronous workers
+	Requests int           // total submissions to issue (0: run for Duration)
+	Duration time.Duration // wall-clock bound (0: run until Requests issued)
+
+	// Traffic mix, all fractions in [0, 1] drawn per submission:
+	UniqueFrac float64 // never-seen spec (forces a simulation) vs shared pool
+	SweepFrac  float64 // submit a small 2-cell sweep instead of a job
+	StreamFrac float64 // follow an accepted job via its NDJSON stream
+	// CancelFrac submissions are cancel probes: a heavier unique job
+	// (tens of milliseconds of work, so the DELETE has a window to land
+	// mid-flight) submitted and immediately cancelled.
+	CancelFrac float64
+
+	SharedSpecs int   // shared (cacheable) spec pool size; default 8
+	Seed        int64 // RNG seed; same seed + mix → same request sequence
+
+	// Warm pre-submits every shared-pool spec and waits for completion
+	// before the measured run, so the "cached" bucket measures pure
+	// cache serves rather than first-computation latency.
+	Warm bool
+
+	Client *http.Client // defaults to a pooled client sized to Clients
+}
+
+// LatencyStats summarizes one response class's submission latencies.
+type LatencyStats struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Report is what one load run measured.
+type Report struct {
+	Elapsed   time.Duration
+	Submitted int     // submissions issued (jobs + sweeps)
+	ReqPerSec float64 // Submitted / Elapsed
+
+	Cached   LatencyStats // served a result in the submit response
+	Uncached LatencyStats // handed a job (queued fresh or coalesced)
+	Sweeps   LatencyStats // sweep submissions, whatever their cell mix
+
+	Coalesced   int // uncached submissions attached to an in-flight job
+	Rejected    int // 429/503 refusals (backpressure working as designed)
+	Cancelled   int // jobs this run cancelled mid-flight
+	Streamed    int // jobs followed over NDJSON
+	UniqueSpecs int // distinct content addresses submitted
+
+	Violations []string // protocol violations observed (bounded)
+}
+
+// collector accumulates worker observations under one lock.
+type collector struct {
+	mu         sync.Mutex
+	cached     []time.Duration
+	uncached   []time.Duration
+	sweeps     []time.Duration
+	violations []string
+	specs      map[string]bool
+}
+
+const maxViolations = 32
+
+func (c *collector) violate(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *collector) spec(body string) {
+	c.mu.Lock()
+	c.specs[body] = true
+	c.mu.Unlock()
+}
+
+// wire mirrors of dtnd's response shapes — the harness speaks the public
+// API, it does not import the server.
+type submitReply struct {
+	JobID  string          `json:"job_id"`
+	Status string          `json:"status"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+type jobReply struct {
+	JobID  string          `json:"job_id"`
+	Status string          `json:"status"`
+	Error  string          `json:"error"`
+	Frac   float64         `json:"frac"`
+	Result json.RawMessage `json:"result"`
+}
+
+type streamLine struct {
+	Frac  float64 `json:"frac"`
+	Done  bool    `json:"done"`
+	Error string  `json:"error"`
+}
+
+type sweepReply struct {
+	SweepID string `json:"sweep_id"`
+	Status  string `json:"status"`
+}
+
+func terminal(status string) bool {
+	return status == "done" || status == "failed" || status == "cancelled"
+}
+
+// Run executes one load run and reports. It returns early only on
+// configuration errors or when ctx is cancelled before any work.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.BaseURL == "" {
+		return Report{}, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if cfg.Clients <= 0 {
+		return Report{}, fmt.Errorf("loadgen: Clients must be positive, got %d", cfg.Clients)
+	}
+	if (cfg.Requests <= 0) == (cfg.Duration <= 0) {
+		return Report{}, fmt.Errorf("loadgen: exactly one of Requests or Duration must bound the run")
+	}
+	if cfg.SharedSpecs <= 0 {
+		cfg.SharedSpecs = 8
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients + 8,
+			MaxIdleConnsPerHost: cfg.Clients + 8,
+		}}
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	g := &generator{cfg: cfg}
+	col := &collector{specs: map[string]bool{}}
+	w := &worker{cfg: cfg, client: client, col: col, gen: g}
+
+	if cfg.Warm {
+		if err := w.warm(ctx); err != nil {
+			return Report{}, fmt.Errorf("loadgen: warm-up: %w", err)
+		}
+	}
+
+	var issued atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+			for ctx.Err() == nil {
+				if cfg.Requests > 0 && issued.Add(1) > int64(cfg.Requests) {
+					return
+				}
+				w.one(ctx, rng)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	rep := Report{
+		Elapsed:     elapsed,
+		Submitted:   len(col.cached) + len(col.uncached) + len(col.sweeps),
+		Cached:      summarize(col.cached),
+		Uncached:    summarize(col.uncached),
+		Sweeps:      summarize(col.sweeps),
+		Coalesced:   int(w.coalesced.Load()),
+		Rejected:    int(w.rejected.Load()),
+		Cancelled:   int(w.cancelled.Load()),
+		Streamed:    int(w.streamed.Load()),
+		UniqueSpecs: len(col.specs),
+		Violations:  col.violations,
+	}
+	if elapsed > 0 {
+		rep.ReqPerSec = float64(rep.Submitted) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// generator builds request bodies. Unique specs advance an atomic seed
+// counter so no two collide; shared specs cycle a small fixed pool.
+type generator struct {
+	cfg  Config
+	next atomic.Int64
+}
+
+// specBody returns a single-job spec. Every spec is tiny (12 nodes,
+// 200 s of scenario time under the quick preset) so throughput measures
+// the service layer, not the simulator.
+func (g *generator) specBody(rng *rand.Rand, unique bool) string {
+	var seed int64
+	if unique {
+		seed = 1_000_000 + g.next.Add(1)
+	} else {
+		seed = 1 + rng.Int63n(int64(g.cfg.SharedSpecs))
+	}
+	return fmt.Sprintf(`{"preset":"quick","protocol":"Direct","nodes":12,"duration":200,"seeds":[%d]}`, seed)
+}
+
+// heavyBody returns a unique spec big enough (~tens of milliseconds of
+// simulation) that a cancel issued right after acceptance can land while
+// the job is still queued or running.
+func (g *generator) heavyBody() string {
+	return fmt.Sprintf(`{"preset":"quick","protocol":"SprayAndWait","nodes":40,"duration":5000,"seeds":[%d]}`, 3_000_000+g.next.Add(1))
+}
+
+func (g *generator) sweepBody(rng *rand.Rand, unique bool) string {
+	var seed int64
+	if unique {
+		seed = 2_000_000 + g.next.Add(1)
+	} else {
+		seed = 1 + rng.Int63n(int64(g.cfg.SharedSpecs))
+	}
+	return fmt.Sprintf(`{"base":{"preset":"quick","protocol":"Direct","nodes":12,"duration":200,"seeds":[%d]},"alpha":[0.2,0.6]}`, seed)
+}
+
+// worker issues submissions and follows each accepted job to a terminal
+// state — so at most Clients jobs are in flight and the run drains the
+// work it creates.
+type worker struct {
+	cfg    Config
+	client *http.Client
+	col    *collector
+	gen    *generator
+
+	coalesced atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+	streamed  atomic.Int64
+}
+
+// warm submits every shared-pool spec and waits for completion.
+func (w *worker) warm(ctx context.Context) error {
+	for seed := int64(1); seed <= int64(w.cfg.SharedSpecs); seed++ {
+		body := fmt.Sprintf(`{"preset":"quick","protocol":"Direct","nodes":12,"duration":200,"seeds":[%d]}`, seed)
+		var sub submitReply
+		code, err := w.postJSON(ctx, "/v1/jobs", body, &sub)
+		if err != nil {
+			return err
+		}
+		switch {
+		case code == http.StatusOK:
+			// cached or coalesced; fall through to follow if a job
+		case code == http.StatusAccepted:
+		default:
+			return fmt.Errorf("warm submit: status %d", code)
+		}
+		if sub.Result == nil && sub.JobID != "" {
+			if _, err := w.follow(ctx, sub.JobID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// one issues a single submission per the traffic mix and drains it.
+func (w *worker) one(ctx context.Context, rng *rand.Rand) {
+	unique := rng.Float64() < w.cfg.UniqueFrac
+	if rng.Float64() < w.cfg.SweepFrac {
+		w.oneSweep(ctx, rng, unique)
+		return
+	}
+	cancelProbe := rng.Float64() < w.cfg.CancelFrac
+	body := w.gen.specBody(rng, unique)
+	if cancelProbe {
+		body = w.gen.heavyBody()
+	}
+	w.col.spec(body)
+
+	var sub submitReply
+	t0 := time.Now()
+	code, err := w.postJSON(ctx, "/v1/jobs", body, &sub)
+	lat := time.Since(t0)
+	switch {
+	case err != nil:
+		if ctx.Err() == nil {
+			w.col.violate("submit error: %v", err)
+		}
+		return
+	case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+		w.rejected.Add(1)
+		return
+	case code == http.StatusOK && sub.Cached:
+		if sub.Result == nil {
+			w.col.violate("job %s: cached reply without a result", sub.JobID)
+		}
+		w.col.mu.Lock()
+		w.col.cached = append(w.col.cached, lat)
+		w.col.mu.Unlock()
+		return
+	case code == http.StatusOK || code == http.StatusAccepted:
+		if code == http.StatusOK {
+			w.coalesced.Add(1) // attached to an identical in-flight job
+		}
+		w.col.mu.Lock()
+		w.col.uncached = append(w.col.uncached, lat)
+		w.col.mu.Unlock()
+	default:
+		w.col.violate("submit: unexpected status %d", code)
+		return
+	}
+	if sub.Status == "done" && sub.Result == nil {
+		w.col.violate("job %s: submit says done but carries no result", sub.JobID)
+	}
+	if terminal(sub.Status) {
+		return
+	}
+
+	switch {
+	case cancelProbe:
+		w.cancel(ctx, sub.JobID)
+	case rng.Float64() < w.cfg.StreamFrac:
+		w.stream(ctx, sub.JobID)
+	default:
+		w.follow(ctx, sub.JobID)
+	}
+}
+
+func (w *worker) oneSweep(ctx context.Context, rng *rand.Rand, unique bool) {
+	body := w.gen.sweepBody(rng, unique)
+	var sw sweepReply
+	t0 := time.Now()
+	code, err := w.postJSON(ctx, "/v1/sweeps", body, &sw)
+	lat := time.Since(t0)
+	switch {
+	case err != nil:
+		if ctx.Err() == nil {
+			w.col.violate("sweep submit error: %v", err)
+		}
+		return
+	case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+		w.rejected.Add(1)
+		return
+	case code != http.StatusOK && code != http.StatusAccepted:
+		w.col.violate("sweep submit: unexpected status %d", code)
+		return
+	}
+	w.col.mu.Lock()
+	w.col.sweeps = append(w.col.sweeps, lat)
+	w.col.mu.Unlock()
+	if code == http.StatusOK { // fully satisfied at submit
+		return
+	}
+	// Poll the aggregate (limit=0: no cell table) until terminal.
+	for ctx.Err() == nil {
+		var jr sweepReply
+		code, err := w.getJSON(ctx, "/v1/sweeps/"+sw.SweepID+"?limit=0", &jr)
+		if err != nil || code != http.StatusOK {
+			return
+		}
+		if terminal(jr.Status) {
+			return
+		}
+		sleep(ctx, 2*time.Millisecond)
+	}
+}
+
+// follow polls a job to a terminal state, checking the status contract
+// at every observation: done ⇒ result present, failed ⇒ error present.
+func (w *worker) follow(ctx context.Context, jobID string) (string, error) {
+	lastFrac := -1.0
+	for {
+		var jr jobReply
+		code, err := w.getJSON(ctx, "/v1/jobs/"+jobID, &jr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return "", ctx.Err()
+			}
+			return "", err
+		}
+		if code != http.StatusOK {
+			w.col.violate("job %s: status poll returned %d", jobID, code)
+			return "", fmt.Errorf("status %d", code)
+		}
+		if jr.Frac < lastFrac {
+			w.col.violate("job %s: frac went backwards (%g after %g)", jobID, jr.Frac, lastFrac)
+		}
+		lastFrac = jr.Frac
+		switch {
+		case jr.Status == "done" && jr.Result == nil:
+			w.col.violate("job %s: torn status — done with no result", jobID)
+			return jr.Status, nil
+		case jr.Status == "failed" && jr.Error == "":
+			w.col.violate("job %s: torn status — failed with no error", jobID)
+			return jr.Status, nil
+		case terminal(jr.Status):
+			return jr.Status, nil
+		}
+		if err := sleep(ctx, 2*time.Millisecond); err != nil {
+			return "", err
+		}
+	}
+}
+
+// stream follows a job's NDJSON progress to its terminal line, checking
+// fraction monotonicity along the way.
+func (w *worker) stream(ctx context.Context, jobID string) {
+	req, err := http.NewRequestWithContext(ctx, "GET", w.cfg.BaseURL+"/v1/jobs/"+jobID+"/stream", nil)
+	if err != nil {
+		return
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		w.col.violate("job %s: stream returned %d", jobID, resp.StatusCode)
+		return
+	}
+	w.streamed.Add(1)
+	lastFrac := -1.0
+	sawFinal := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line streamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			w.col.violate("job %s: bad NDJSON line %q", jobID, sc.Text())
+			return
+		}
+		if line.Frac < lastFrac {
+			w.col.violate("job %s: stream frac went backwards (%g after %g)", jobID, line.Frac, lastFrac)
+		}
+		lastFrac = line.Frac
+		if line.Done {
+			sawFinal = true
+		}
+	}
+	if !sawFinal && ctx.Err() == nil {
+		w.col.violate("job %s: stream ended without a terminal line", jobID)
+	}
+}
+
+// cancel cancels an accepted job and drains it to a terminal state (the
+// job may legitimately win the race and finish done).
+func (w *worker) cancel(ctx context.Context, jobID string) {
+	req, err := http.NewRequestWithContext(ctx, "DELETE", w.cfg.BaseURL+"/v1/jobs/"+jobID, nil)
+	if err != nil {
+		return
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		w.cancelled.Add(1)
+	}
+	w.follow(ctx, jobID)
+}
+
+func (w *worker) postJSON(ctx context.Context, path, body string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", w.cfg.BaseURL+path, bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.do(req, out)
+}
+
+func (w *worker) getJSON(ctx context.Context, path string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", w.cfg.BaseURL+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	return w.do(req, out)
+}
+
+func (w *worker) do(req *http.Request, out any) (int, error) {
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && len(data) > 0 && resp.StatusCode < 500 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s: %w", req.URL.Path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func summarize(lats []time.Duration) LatencyStats {
+	if len(lats) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return LatencyStats{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   pct(0.50),
+		P99:   pct(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// String renders the report the way cmd/dtnload prints it.
+func (r Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "elapsed %.2fs, %d submissions, %.1f req/s\n", r.Elapsed.Seconds(), r.Submitted, r.ReqPerSec)
+	row := func(name string, s LatencyStats) {
+		if s.Count == 0 {
+			fmt.Fprintf(&b, "  %-9s      —\n", name)
+			return
+		}
+		fmt.Fprintf(&b, "  %-9s %6d  mean %8s  p50 %8s  p99 %8s  max %8s\n",
+			name, s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+			s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	row("cached", r.Cached)
+	row("uncached", r.Uncached)
+	row("sweeps", r.Sweeps)
+	fmt.Fprintf(&b, "  coalesced %d, rejected %d, cancelled %d, streamed %d, unique specs %d\n",
+		r.Coalesced, r.Rejected, r.Cancelled, r.Streamed, r.UniqueSpecs)
+	if len(r.Violations) == 0 {
+		fmt.Fprintf(&b, "  violations: none\n")
+	} else {
+		fmt.Fprintf(&b, "  VIOLATIONS (%d):\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "    %s\n", v)
+		}
+	}
+	return b.String()
+}

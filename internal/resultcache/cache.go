@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -51,6 +52,48 @@ type Store struct {
 	// sharing the directory are picked up at the next scan.
 	curBytes int64
 	scanned  bool
+
+	// Observability counters, exported through Stats (and from there the
+	// daemon's /metrics endpoint). Atomics: Get is lock-free and must
+	// stay that way.
+	hits         atomic.Int64
+	misses       atomic.Int64
+	puts         atomic.Int64
+	scans        atomic.Int64
+	evictions    atomic.Int64
+	evictedBytes atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the store's counters. CurBytes is
+// the size approximation eviction works from — maintained only for
+// bounded stores (MaxBytes > 0), zero otherwise.
+type Stats struct {
+	Hits         int64 // Get served a cached result
+	Misses       int64 // Get found nothing (or a corrupt entry)
+	Puts         int64 // results persisted
+	Scans        int64 // eviction directory walks
+	Evictions    int64 // entries removed by eviction
+	EvictedBytes int64 // bytes reclaimed by eviction
+	CurBytes     int64 // approximate store size (bounded stores only)
+}
+
+// Stats returns the store's counters. A nil store reports zeros.
+func (st *Store) Stats() Stats {
+	if st == nil {
+		return Stats{}
+	}
+	st.mu.Lock()
+	cur := st.curBytes
+	st.mu.Unlock()
+	return Stats{
+		Hits:         st.hits.Load(),
+		Misses:       st.misses.Load(),
+		Puts:         st.puts.Load(),
+		Scans:        st.scans.Load(),
+		Evictions:    st.evictions.Load(),
+		EvictedBytes: st.evictedBytes.Load(),
+		CurBytes:     cur,
+	}
 }
 
 // Open returns a store rooted at dir, creating it if needed. maxBytes
@@ -90,9 +133,11 @@ func ValidKey(key string) bool {
 	return true
 }
 
-// Get returns the cached result for key, if present and intact. A hit
-// touches the entry's mtime, so results a repeated sweep keeps reusing
-// stay at the young end of the eviction order.
+// Get returns the cached result for key, if present and intact. On a
+// bounded store a hit touches the entry's mtime, so results a repeated
+// sweep keeps reusing stay at the young end of the eviction order; an
+// unbounded store never evicts, so it skips the per-hit Chtimes syscall
+// — LRU order is meaningless there and the touch was pure latency.
 func (st *Store) Get(key string) (*Result, bool) {
 	path := st.path(key)
 	if path == "" {
@@ -100,14 +145,19 @@ func (st *Store) Get(key string) (*Result, bool) {
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
+		st.misses.Add(1)
 		return nil, false
 	}
 	var res Result
 	if json.Unmarshal(data, &res) != nil || res.Key != key {
+		st.misses.Add(1)
 		return nil, false // corrupt entry: treat as a miss, recompute
 	}
-	now := time.Now()
-	os.Chtimes(path, now, now) // best-effort LRU touch
+	if st.maxBytes > 0 {
+		now := time.Now()
+		os.Chtimes(path, now, now) // best-effort LRU touch
+	}
+	st.hits.Add(1)
 	return &res, true
 }
 
@@ -139,13 +189,25 @@ func (st *Store) Put(res *Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// An overwrite replaces the old file, so only the size delta joins the
+	// approximation — adding the full new size on every Put of the same
+	// key inflated curBytes without bound and triggered premature eviction
+	// scans. The stat races a concurrent same-key rename, but curBytes is
+	// an approximation by contract: the next scan restores exactness.
+	var oldSize int64
+	if st.maxBytes > 0 {
+		if fi, err := os.Stat(path); err == nil {
+			oldSize = fi.Size()
+		}
+	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
+	st.puts.Add(1)
 	if st.maxBytes > 0 {
 		st.mu.Lock()
-		st.curBytes += int64(len(data)) + 1
+		st.curBytes += int64(len(data)) + 1 - oldSize
 		// Scan and evict only when the (approximate) total crosses the
 		// bound — steady-state Puts under it never walk the directory.
 		if !st.scanned || st.curBytes > st.maxBytes {
@@ -191,6 +253,7 @@ func (st *Store) evictLocked(keep string) {
 		total += info.Size()
 		return nil
 	})
+	st.scans.Add(1)
 	st.scanned = true
 	defer func() { st.curBytes = total }()
 	if total <= st.maxBytes {
@@ -212,6 +275,8 @@ func (st *Store) evictLocked(keep string) {
 		}
 		if os.Remove(e.path) == nil {
 			total -= e.size
+			st.evictions.Add(1)
+			st.evictedBytes.Add(e.size)
 		}
 	}
 }

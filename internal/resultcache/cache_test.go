@@ -200,6 +200,146 @@ func TestEvictionSparesReadEntries(t *testing.T) {
 	}
 }
 
+// TestOverwriteAccounting pins the curBytes fix: re-Putting an existing
+// key replaces its file, so only the size delta may join the running
+// approximation. Before the fix every overwrite added the full entry
+// size, so repeated overwrites of one key inflated curBytes past the
+// bound and triggered an eviction scan per Put.
+func TestOverwriteAccounting(t *testing.T) {
+	size := entrySize(t)
+	st, err := Open(t.TempDir(), 100*size) // bound far above actual usage
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := st.Put(resultOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ { // 50 overwrites of one existing key
+		if err := st.Put(resultOf(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.CurBytes > 5*size {
+		t.Errorf("curBytes inflated to %d after overwrites (4 entries of ~%d bytes on disk)", stats.CurBytes, size)
+	}
+	// The store never crossed its bound, so no Put after the first scan
+	// should have walked the directory again, let alone evicted.
+	if stats.Scans > 1 {
+		t.Errorf("%d eviction scans for a store that never crossed its bound", stats.Scans)
+	}
+	if stats.Evictions != 0 {
+		t.Errorf("%d premature evictions", stats.Evictions)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := st.Get(keyOf(i)); !ok {
+			t.Errorf("entry %d lost", i)
+		}
+	}
+}
+
+// TestStatsCounters: hits, misses and puts are counted where they
+// happen; a nil store reports zeros without panicking.
+func TestStatsCounters(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Get(keyOf(0)) // miss
+	st.Put(resultOf(0))
+	st.Get(keyOf(0)) // hit
+	st.Get(keyOf(0)) // hit
+	st.Get(keyOf(1)) // miss
+	got := st.Stats()
+	if got.Hits != 2 || got.Misses != 2 || got.Puts != 1 {
+		t.Errorf("stats = %+v, want 2 hits, 2 misses, 1 put", got)
+	}
+	var nilStore *Store
+	if s := nilStore.Stats(); s != (Stats{}) {
+		t.Errorf("nil store stats = %+v", s)
+	}
+}
+
+// TestUnboundedGetSkipsTouch: with no byte bound there is no eviction
+// order to maintain, so Get must not burn a Chtimes syscall per hit.
+func TestUnboundedGetSkipsTouch(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(resultOf(0)); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(keyOf(0))
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(keyOf(0)); !ok {
+		t.Fatal("miss after Put")
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ModTime().Equal(old) {
+		t.Errorf("unbounded Get touched mtime (%v -> %v)", old, info.ModTime())
+	}
+
+	// A bounded store still touches: the LRU contract of
+	// TestEvictionSparesReadEntries depends on it.
+	stb, err := Open(t.TempDir(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stb.Put(resultOf(0)); err != nil {
+		t.Fatal(err)
+	}
+	bpath := stb.path(keyOf(0))
+	if err := os.Chtimes(bpath, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stb.Get(keyOf(0)); !ok {
+		t.Fatal("miss after Put")
+	}
+	info, err = os.Stat(bpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ModTime().Equal(old) {
+		t.Error("bounded Get did not touch mtime")
+	}
+}
+
+// BenchmarkGet measures hit latency for bounded (read-touch Chtimes per
+// hit) and unbounded (no touch) stores — the per-hit syscall the
+// unbounded path sheds.
+func BenchmarkGet(b *testing.B) {
+	for _, bc := range []struct {
+		name     string
+		maxBytes int64
+	}{{"unbounded", 0}, {"bounded", 1 << 30}} {
+		b.Run(bc.name, func(b *testing.B) {
+			st, err := Open(b.TempDir(), bc.maxBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Put(resultOf(0)); err != nil {
+				b.Fatal(err)
+			}
+			key := keyOf(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.Get(key); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
 // TestPutNeverEvictsItself: even when one entry exceeds the whole bound,
 // the entry just written survives its own eviction pass.
 func TestPutNeverEvictsItself(t *testing.T) {

@@ -1,0 +1,133 @@
+package server
+
+// Runtime observability: GET /metrics serves the daemon's counters in
+// Prometheus text exposition format (hand-rolled — the format is three
+// line shapes, no client library needed). Counters live as atomics on
+// serverCounters and are incremented at the point the event happens;
+// gauges (queue depth, open NDJSON streams, cache size) are read at
+// scrape time. The one invariant CI reconciles after a smoke run:
+//
+//	dtnd_submissions_total == dtnd_submit_cache_hits_total
+//	                        + dtnd_submit_cache_misses_total
+//
+// i.e. every valid job submission is classified exactly once — served a
+// result immediately (hit: disk cache or a terminal in-flight snapshot)
+// or handed a job (miss: coalesced onto one or queued fresh).
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/resultcache"
+)
+
+// serverCounters is the daemon's metric state. All fields are atomics so
+// the hot paths (submit, progress publish) never take a lock to count.
+type serverCounters struct {
+	submissions      atomic.Int64 // valid POST /v1/jobs reaching classification
+	submitHits       atomic.Int64 // served a result immediately, no job
+	submitCoalesced  atomic.Int64 // attached to an identical in-flight job
+	submitRejected   atomic.Int64 // refused: queue full or draining
+	sweepSubmissions atomic.Int64 // valid POST /v1/sweeps accepted
+	sweepRejected    atomic.Int64 // sweeps refused: queue room or draining
+
+	jobsDone      atomic.Int64 // jobs reaching state done
+	jobsFailed    atomic.Int64 // jobs reaching state failed
+	jobsCancelled atomic.Int64 // jobs reaching state cancelled
+
+	progressEvents atomic.Int64 // simulation progress events published
+	simMillis      atomic.Int64 // simulated scenario-milliseconds completed
+	streamSubs     atomic.Int64 // gauge: NDJSON streams currently open
+}
+
+// noteTerminal records a job's final state (the job's onTerminal hook).
+func (m *serverCounters) noteTerminal(st jobState) {
+	switch st {
+	case stateDone:
+		m.jobsDone.Add(1)
+	case stateFailed:
+		m.jobsFailed.Add(1)
+	case stateCancelled:
+		m.jobsCancelled.Add(1)
+	}
+}
+
+// metricDef is one exposition entry: name, HELP text, TYPE and a value
+// read at scrape time.
+type metricDef struct {
+	name  string
+	help  string
+	typ   string // "counter" or "gauge"
+	value func() float64
+}
+
+// metricDefs builds the scrape table. Queue depth and retained-object
+// gauges read Server.mu once each; everything else is an atomic load.
+func (s *Server) metricDefs() []metricDef {
+	counter := func(name, help string, v *atomic.Int64) metricDef {
+		return metricDef{name: name, help: help, typ: "counter", value: func() float64 { return float64(v.Load()) }}
+	}
+	m := &s.m
+	defs := []metricDef{
+		counter("dtnd_submissions_total", "Valid job submissions (direct POST /v1/jobs) classified against the cache.", &m.submissions),
+		counter("dtnd_submit_cache_hits_total", "Submissions served a result immediately: disk cache or terminal in-flight snapshot.", &m.submitHits),
+		{name: "dtnd_submit_cache_misses_total", help: "Submissions handed a job (coalesced or queued): submissions - hits.", typ: "counter",
+			value: func() float64 { return float64(m.submissions.Load() - m.submitHits.Load()) }},
+		counter("dtnd_submit_coalesced_total", "Submissions attached to an identical in-flight job.", &m.submitCoalesced),
+		counter("dtnd_submit_rejected_total", "Submissions refused: queue full or draining.", &m.submitRejected),
+		counter("dtnd_sweep_submissions_total", "Valid sweep submissions accepted.", &m.sweepSubmissions),
+		counter("dtnd_sweep_rejected_total", "Sweep submissions refused: queue room or draining.", &m.sweepRejected),
+		counter("dtnd_jobs_done_total", "Jobs finished successfully.", &m.jobsDone),
+		counter("dtnd_jobs_failed_total", "Jobs finished in failure.", &m.jobsFailed),
+		counter("dtnd_jobs_cancelled_total", "Jobs cancelled before completion.", &m.jobsCancelled),
+		{name: "dtnd_jobs_simulated_total", help: "Jobs that actually ran a simulation (cache misses that completed).", typ: "counter",
+			value: func() float64 { return float64(s.simulated.Load()) }},
+		counter("dtnd_progress_events_total", "Simulation progress events published to streams and sweeps.", &m.progressEvents),
+		{name: "dtnd_sim_seconds_total", help: "Simulated scenario-seconds completed across all jobs (rate() gives sim-time throughput).", typ: "counter",
+			value: func() float64 { return float64(m.simMillis.Load()) / 1000 }},
+		{name: "dtnd_queue_depth", help: "Accepted-but-not-finished jobs (queued + running).", typ: "gauge",
+			value: func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.queued) }},
+		{name: "dtnd_jobs_retained", help: "Job records addressable in memory (bounded retention ring).", typ: "gauge",
+			value: func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.jobs)) }},
+		{name: "dtnd_sweeps_retained", help: "Sweep records addressable in memory (bounded retention ring).", typ: "gauge",
+			value: func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.sweeps)) }},
+		{name: "dtnd_stream_subscribers", help: "NDJSON progress streams currently open (jobs and sweeps).", typ: "gauge",
+			value: func() float64 { return float64(m.streamSubs.Load()) }},
+	}
+	// Result-store counters (zeros when caching is disabled: s.store is
+	// nil and Stats() is nil-safe).
+	stat := func(name, help, typ string, v func(resultcache.Stats) int64) metricDef {
+		return metricDef{name: name, help: help, typ: typ, value: func() float64 { return float64(v(s.store.Stats())) }}
+	}
+	defs = append(defs,
+		stat("dtnd_cache_hits_total", "Result-store reads that found an intact entry (submits, sweep cells, /v1/results).", "counter",
+			func(st resultcache.Stats) int64 { return st.Hits }),
+		stat("dtnd_cache_misses_total", "Result-store reads that found nothing (or a corrupt entry).", "counter",
+			func(st resultcache.Stats) int64 { return st.Misses }),
+		stat("dtnd_cache_puts_total", "Results persisted to the store.", "counter",
+			func(st resultcache.Stats) int64 { return st.Puts }),
+		stat("dtnd_cache_evictions_total", "Entries removed by size-bound eviction.", "counter",
+			func(st resultcache.Stats) int64 { return st.Evictions }),
+		stat("dtnd_cache_evicted_bytes_total", "Bytes reclaimed by size-bound eviction.", "counter",
+			func(st resultcache.Stats) int64 { return st.EvictedBytes }),
+		stat("dtnd_cache_eviction_scans_total", "Eviction directory walks.", "counter",
+			func(st resultcache.Stats) int64 { return st.Scans }),
+		stat("dtnd_cache_bytes", "Approximate result-store size (bounded stores only).", "gauge",
+			func(st resultcache.Stats) int64 { return st.CurBytes }),
+	)
+	return defs
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	for _, d := range s.metricDefs() {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", d.name, d.help, d.name, d.typ, d.name, d.value())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, b.String())
+}

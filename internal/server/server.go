@@ -14,11 +14,15 @@
 //	GET    /v1/jobs/{id}/stream live NDJSON progress until the job ends
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	POST   /v1/sweeps           submit a sweep; cells reuse the cell cache
+//	GET    /v1/sweeps             list sweeps (id, status, aggregate frac)
 //	GET    /v1/sweeps/{id}        sweep status + per-cell result table
-//	GET    /v1/sweeps/{id}/stream live NDJSON aggregate progress
+//	                              (?offset=N&limit=M paginates the table)
+//	GET    /v1/sweeps/{id}/stream live NDJSON progress: per-cell key+frac
+//	                              lines interleaved with the aggregate
 //	DELETE /v1/sweeps/{id}        cancel the sweep's remaining cells
 //	GET    /v1/results/{key}    cached result by content address
 //	GET    /v1/presets          the named base specs
+//	GET    /metrics             Prometheus text counters (see metrics.go)
 //	GET    /healthz             liveness
 package server
 
@@ -95,6 +99,10 @@ type job struct {
 	// operator action and cancels unconditionally.
 	holders int
 
+	// onTerminal, when set, observes the job's final state exactly once
+	// (the server's metric counters). Called outside all locks.
+	onTerminal func(jobState)
+
 	mu     sync.Mutex
 	state  jobState
 	events []metrics.Progress
@@ -128,6 +136,7 @@ type Server struct {
 	sem       chan struct{}  // MaxConcurrentJobs permits
 	wg        sync.WaitGroup // accepted jobs not yet finished
 	simulated atomic.Int64   // jobs that actually ran (cache misses)
+	m         serverCounters // /metrics state (see metrics.go)
 }
 
 // New returns a server, creating the cache directory if configured.
@@ -163,6 +172,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -223,9 +234,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.m.submissions.Add(1)
 	// Content-addressed fast path: an identical resolved job was already
-	// computed — serve the summary from disk, no simulation.
-	if res, ok := s.store.Get(key); ok {
+	// computed — serve the summary from disk, no simulation. The entry
+	// must carry one summary per requested seed: a stale entry written
+	// for a different seed list under an old spec version (or tampered on
+	// disk) is a miss and recomputes, the same guard both sweep cache
+	// passes apply.
+	if res, ok := s.store.Get(key); ok && len(res.PerSeed) == len(spec.SeedList()) {
+		s.m.submitHits.Add(1)
 		writeJSON(w, http.StatusOK, submitResponse{Key: key, Status: string(stateDone), Cached: true, Result: res})
 		return
 	}
@@ -233,22 +250,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.m.submitRejected.Add(1)
 		writeErr(w, http.StatusServiceUnavailable, errors.New("server draining, not accepting jobs"))
 		return
 	}
-	// Coalesce with an in-flight identical job — unless it has been
-	// cancelled: attaching to a job that will never produce a result
-	// would silently swallow this submission, so a fresh job queues
-	// instead (newJobLocked replaces the cancelled job's active entry).
+	// Coalesce with an in-flight identical job — unless attaching could
+	// never hand this submission a result:
+	//   - a cancelled job will not produce one, so a fresh job queues
+	//     instead (newJobLocked replaces the cancelled job's active entry);
+	//   - a job already terminal (the window between j.finish/j.fail and
+	//     runJob's deferred delete from s.active) has already published
+	//     its outcome, and an attach would answer status "done"/"failed"
+	//     with no result/error payload. A done job's result is served
+	//     inline from its snapshot; a failed one queues fresh.
 	if j := s.active[key]; j != nil && j.ctx.Err() == nil {
-		j.holders++
-		st := j.snapshot().state
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, submitResponse{JobID: j.id, Key: key, Status: string(st)})
-		return
+		snap := j.snapshot()
+		switch {
+		case !terminalState(snap.state):
+			j.holders++
+			s.mu.Unlock()
+			s.m.submitCoalesced.Add(1)
+			writeJSON(w, http.StatusOK, submitResponse{JobID: j.id, Key: key, Status: string(snap.state)})
+			return
+		case snap.state == stateDone && snap.result != nil:
+			s.mu.Unlock()
+			s.m.submitHits.Add(1)
+			writeJSON(w, http.StatusOK, submitResponse{JobID: j.id, Key: key, Status: string(stateDone), Cached: true, Result: snap.result})
+			return
+		}
+		// failed (or done with a nil result, which cannot happen): fall
+		// through and queue a fresh job.
 	}
 	if s.queued >= s.cfg.MaxQueuedJobs {
 		s.mu.Unlock()
+		s.m.submitRejected.Add(1)
 		writeErr(w, http.StatusTooManyRequests, errors.New("job queue full"))
 		return
 	}
@@ -265,14 +300,15 @@ func (s *Server) newJobLocked(key string, spec experiment.ScenarioSpec) *job {
 	s.nextID++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:      fmt.Sprintf("j%d", s.nextID),
-		key:     key,
-		spec:    spec,
-		ctx:     ctx,
-		cancel:  cancel,
-		holders: 1,
-		state:   stateQueued,
-		notify:  make(chan struct{}),
+		id:         fmt.Sprintf("j%d", s.nextID),
+		key:        key,
+		spec:       spec,
+		ctx:        ctx,
+		cancel:     cancel,
+		holders:    1,
+		state:      stateQueued,
+		notify:     make(chan struct{}),
+		onTerminal: s.m.noteTerminal,
 	}
 	s.jobs[j.id] = j
 	s.active[key] = j
@@ -327,7 +363,20 @@ func (s *Server) runJob(j *job) {
 	}
 
 	j.setState(stateRunning)
-	sums, err := experiment.RunSpecContext(j.ctx, j.spec, j.appendProgress)
+	// Meter simulation throughput off the progress feed: events arrive
+	// serialized (RunSpecContext delivers under its own lock), so the
+	// per-seed last-T table needs no further locking. Sim-time deltas sum
+	// into dtnd_sim_seconds_total.
+	lastT := make(map[int]float64)
+	progress := func(p metrics.Progress) {
+		s.m.progressEvents.Add(1)
+		if dt := p.T - lastT[p.Seed]; dt > 0 {
+			s.m.simMillis.Add(int64(dt * 1000))
+			lastT[p.Seed] = p.T
+		}
+		j.publish(p)
+	}
+	sums, err := experiment.RunSpecContext(j.ctx, j.spec, progress)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			j.cancelled()
@@ -416,6 +465,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
+	s.m.streamSubs.Add(1)
+	defer s.m.streamSubs.Add(-1)
 	streamNDJSON(w, r, func() ([]metrics.Progress, chan struct{}) {
 		snap := j.snapshot()
 		return snap.events, snap.notify
@@ -552,6 +603,9 @@ func (j *job) terminal(st jobState, res *Result, errMsg string) {
 	j.notify = make(chan struct{})
 	subs := j.subs
 	j.mu.Unlock()
+	if j.onTerminal != nil {
+		j.onTerminal(st)
+	}
 	for _, fn := range subs {
 		fn(p)
 	}

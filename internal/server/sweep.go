@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"repro/internal/experiment"
@@ -34,13 +35,20 @@ type sweepCellRef struct {
 	job    *job
 }
 
-// SweepProgress is one line of a sweep's NDJSON stream: aggregate
-// completion across all cells. The terminal line carries done=true, the
-// sweep's final status and the first failed cell's error, if any.
+// SweepProgress is one line of a sweep's NDJSON stream. Two line shapes
+// interleave: aggregate lines (Cell empty) report completion across all
+// cells, per-cell lines additionally carry the progressing cell's content
+// address and its own fraction (throttled to ~10% steps per cell, plus
+// its terminal event with CellDone). The stream's terminal line is an
+// aggregate line with done=true, the sweep's final status and the first
+// failed cell's error, if any.
 type SweepProgress struct {
 	Cells     int     `json:"cells"`
 	CellsDone int     `json:"cells_done"`
 	Frac      float64 `json:"frac"`
+	Cell      string  `json:"cell,omitempty"`      // per-cell line: cell content address
+	CellFrac  float64 `json:"cell_frac,omitempty"` // per-cell line: that cell's completion
+	CellDone  bool    `json:"cell_done,omitempty"` // per-cell line: cell reached a terminal state
 	Done      bool    `json:"done,omitempty"`
 	Status    string  `json:"status,omitempty"`
 	Error     string  `json:"error,omitempty"`
@@ -61,19 +69,21 @@ type sweepJob struct {
 	done     int       // cells in a terminal state (incl. cached)
 	events   []SweepProgress
 	notify   chan struct{}
-	lastEmit float64 // aggregate frac of the last throttled event
-	released bool    // DELETE already dropped this sweep's cell holds
+	lastEmit float64   // aggregate frac of the last throttled event
+	cellEmit []float64 // per-cell frac of the last per-cell line (throttle)
+	released bool      // DELETE already dropped this sweep's cell holds
 }
 
 // newSweepJob builds the aggregate over resolved cell refs. Cached cells
 // start complete; the caller subscribes job cells and then seals.
 func newSweepJob(id string, cells []sweepCellRef) *sweepJob {
 	sw := &sweepJob{
-		id:     id,
-		cells:  cells,
-		state:  stateRunning,
-		fracs:  make([]float64, len(cells)),
-		notify: make(chan struct{}),
+		id:       id,
+		cells:    cells,
+		state:    stateRunning,
+		fracs:    make([]float64, len(cells)),
+		cellEmit: make([]float64, len(cells)),
+		notify:   make(chan struct{}),
 	}
 	for i, c := range cells {
 		if c.cached != nil {
@@ -99,7 +109,9 @@ func (sw *sweepJob) initCell(i int, snap jobSnap) {
 	}
 }
 
-// observe folds one live event from cell i into the aggregate.
+// observe folds one live event from cell i into the aggregate: a
+// per-cell line first (throttled), then the aggregate line — so the
+// sweep-terminal aggregate event is always the stream's last line.
 func (sw *sweepJob) observe(i int, p metrics.Progress) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
@@ -110,7 +122,33 @@ func (sw *sweepJob) observe(i int, p metrics.Progress) {
 		sw.fracs[i] = 1
 		sw.done++
 	}
+	sw.emitCellLocked(i, p.Done)
 	sw.emitLocked(p.Done)
+}
+
+// emitCellLocked appends a per-cell progress line (throttled to ~10%
+// steps per cell; a cell's terminal event always emits). Callers hold
+// sw.mu.
+func (sw *sweepJob) emitCellLocked(i int, done bool) {
+	if terminalState(sw.state) {
+		return
+	}
+	f := sw.fracs[i]
+	if !done && f < sw.cellEmit[i]+0.1 {
+		return
+	}
+	sw.cellEmit[i] = f
+	n := len(sw.cells)
+	total := 0.0
+	for _, fr := range sw.fracs {
+		total += fr
+	}
+	sw.events = append(sw.events, SweepProgress{
+		Cells: n, CellsDone: sw.done, Frac: total / float64(n),
+		Cell: sw.cells[i].cell.Key, CellFrac: f, CellDone: done,
+	})
+	close(sw.notify)
+	sw.notify = make(chan struct{})
 }
 
 // seal emits the initial aggregate event — or the terminal one, when
@@ -200,7 +238,9 @@ type sweepCellStatus struct {
 }
 
 // sweepResponse is the POST /v1/sweeps and GET /v1/sweeps/{id} reply:
-// sweep status plus the per-cell result table.
+// sweep status plus the per-cell result table. CellsCached counts over
+// the whole sweep regardless of pagination; Cells holds the requested
+// window (Offset..Offset+len(Cells) of CellsTotal).
 type sweepResponse struct {
 	SweepID     string            `json:"sweep_id"`
 	Status      string            `json:"status"`
@@ -208,12 +248,16 @@ type sweepResponse struct {
 	CellsTotal  int               `json:"cells_total"`
 	CellsCached int               `json:"cells_cached"`
 	CellsDone   int               `json:"cells_done"`
+	Offset      int               `json:"offset,omitempty"`
 	Cells       []sweepCellStatus `json:"cells"`
 }
 
-// sweepStatus assembles the reply table. Aggregate numbers come from one
-// sw.mu acquisition; per-cell rows from each cell's atomic job snapshot.
-func sweepStatus(sw *sweepJob) sweepResponse {
+// sweepStatus assembles the reply. Aggregate numbers come from one sw.mu
+// acquisition; per-cell rows from each cell's atomic job snapshot. The
+// table window is cells[offset : offset+limit] (limit < 0 means all) —
+// a >100-cell grid's status reply need not ship thousands of rows to a
+// client that only wants the aggregate or one page.
+func sweepStatus(sw *sweepJob, offset, limit int) sweepResponse {
 	sw.mu.Lock()
 	st := sw.state
 	done := sw.done
@@ -229,8 +273,20 @@ func sweepStatus(sw *sweepJob) sweepResponse {
 		CellsTotal: len(sw.cells),
 		CellsDone:  done,
 	}
+	offset = min(max(offset, 0), len(sw.cells))
+	end := len(sw.cells)
+	if limit >= 0 && offset+limit < end {
+		end = offset + limit
+	}
+	resp.Offset = offset
 	for i := range sw.cells {
 		c := &sw.cells[i]
+		if c.cached != nil {
+			resp.CellsCached++ // counted sweep-wide, not per page
+		}
+		if i < offset || i >= end {
+			continue
+		}
 		cs := sweepCellStatus{Key: c.cell.Key, Axes: c.cell.Axes}
 		if c.cached != nil {
 			mean := c.cached.Mean
@@ -238,7 +294,6 @@ func sweepStatus(sw *sweepJob) sweepResponse {
 			cs.Cached = true
 			cs.Frac = 1
 			cs.Mean = &mean
-			resp.CellsCached++
 		} else {
 			snap := c.job.snapshot()
 			cs.JobID = c.job.id
@@ -293,32 +348,57 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	// draining.
 	if s.draining && !allCached {
 		s.mu.Unlock()
+		s.m.sweepRejected.Add(1)
 		writeErr(w, http.StatusServiceUnavailable, errors.New("server draining, not accepting jobs"))
 		return
 	}
-	// Admission: count cells that would become new queue entries (not
-	// cached, not coalescible onto an in-flight job or an earlier
-	// duplicate cell of this same sweep) and refuse the sweep whole if
-	// they don't fit — a half-admitted grid helps nobody.
-	// A cancelled in-flight job is not coalescible (it will never yield
-	// a result); its cell counts as new, like in handleSubmit.
-	coalescible := func(key string) *job {
-		if j := s.active[key]; j != nil && j.ctx.Err() == nil {
-			return j
-		}
-		return nil
+	// Attach decision per key, memoized so the admission count below and
+	// the fan-out loop after it cannot disagree (a job may reach a
+	// terminal state between the two passes — its snapshot is taken
+	// once). Mirrors handleSubmit: a live non-terminal in-flight job is
+	// coalescible; a done one's result is taken from its snapshot as if
+	// cached (the window between j.finish and runJob's delete from
+	// s.active); a cancelled or failed one will never serve this cell,
+	// so the cell queues fresh.
+	type attachDecision struct {
+		j   *job    // coalesce onto this live job
+		res *Result // or serve this terminal snapshot result
 	}
+	decisions := map[string]attachDecision{}
+	decide := func(key string) attachDecision {
+		if d, ok := decisions[key]; ok {
+			return d
+		}
+		var d attachDecision
+		if j := s.active[key]; j != nil && j.ctx.Err() == nil {
+			snap := j.snapshot()
+			switch {
+			case !terminalState(snap.state):
+				d.j = j
+			case snap.state == stateDone && snap.result != nil:
+				d.res = snap.result
+			}
+		}
+		decisions[key] = d
+		return d
+	}
+	// Admission: count cells that would become new queue entries (not
+	// cached, not attachable, not an earlier duplicate cell of this same
+	// sweep) and refuse the sweep whole if they don't fit — a
+	// half-admitted grid helps nobody.
 	newNeeded := 0
 	seenKeys := map[string]bool{}
 	for i := range refs {
 		key := refs[i].cell.Key
-		if refs[i].cached == nil && coalescible(key) == nil && !seenKeys[key] {
+		d := decide(key)
+		if refs[i].cached == nil && d.j == nil && d.res == nil && !seenKeys[key] {
 			newNeeded++
 			seenKeys[key] = true
 		}
 	}
 	if s.queued+newNeeded > s.cfg.MaxQueuedJobs {
 		s.mu.Unlock()
+		s.m.sweepRejected.Add(1)
 		writeErr(w, http.StatusTooManyRequests,
 			fmt.Errorf("sweep needs %d queue slots, %d free", newNeeded, s.cfg.MaxQueuedJobs-s.queued))
 		return
@@ -330,12 +410,17 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		key := refs[i].cell.Key
+		d := decide(key)
+		if d.res != nil { // terminal done in-flight job: take its result
+			refs[i].cached = d.res
+			continue
+		}
 		j := owned[key]
 		switch {
 		case j != nil: // duplicate cell within this sweep
 			j.holders++
-		case coalescible(key) != nil: // coalesce with a live in-flight job
-			j = coalescible(key)
+		case d.j != nil: // coalesce with a live in-flight job
+			j = d.j
 			j.holders++
 			owned[key] = j
 		default:
@@ -345,6 +430,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		refs[i].job = j
 	}
+	s.m.sweepSubmissions.Add(1)
 	s.nextID++
 	sw := newSweepJob(fmt.Sprintf("s%d", s.nextID), refs)
 	s.sweeps[sw.id] = sw
@@ -368,7 +454,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	sw.seal()
 
-	resp := sweepStatus(sw)
+	resp := sweepStatus(sw, 0, -1)
 	code := http.StatusAccepted
 	if terminalState(jobState(resp.Status)) {
 		code = http.StatusOK
@@ -411,7 +497,71 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if sw == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, sweepStatus(sw))
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepStatus(sw, offset, limit))
+}
+
+// pageParams parses ?offset=N&limit=M. Absent offset is 0; absent limit
+// means the whole table.
+func pageParams(r *http.Request) (offset, limit int, err error) {
+	limit = -1
+	q := r.URL.Query()
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q", v)
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	return offset, limit, nil
+}
+
+// sweepListEntry is one row of GET /v1/sweeps: the aggregate view of a
+// sweep, without its cell table.
+type sweepListEntry struct {
+	SweepID    string  `json:"sweep_id"`
+	Status     string  `json:"status"`
+	Frac       float64 `json:"frac"`
+	CellsTotal int     `json:"cells_total"`
+	CellsDone  int     `json:"cells_done"`
+}
+
+// handleSweepList serves GET /v1/sweeps: every retained sweep in
+// creation order (the retention ring bounds the list; dropped sweeps'
+// cell results remain addressable through the result store by key).
+func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sws := make([]*sweepJob, 0, len(s.sweeps))
+	for _, id := range s.sweepRing {
+		if sw := s.sweeps[id]; sw != nil {
+			sws = append(sws, sw)
+		}
+	}
+	s.mu.Unlock()
+	list := make([]sweepListEntry, 0, len(sws)) // [] not null when empty
+	for _, sw := range sws {
+		sw.mu.Lock()
+		total := 0.0
+		for _, f := range sw.fracs {
+			total += f
+		}
+		list = append(list, sweepListEntry{
+			SweepID:    sw.id,
+			Status:     string(sw.state),
+			Frac:       total / float64(len(sw.cells)),
+			CellsTotal: len(sw.cells),
+			CellsDone:  sw.done,
+		})
+		sw.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, map[string][]sweepListEntry{"sweeps": list})
 }
 
 // handleSweepStream replays and follows the sweep's aggregate progress
@@ -421,6 +571,8 @@ func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	if sw == nil {
 		return
 	}
+	s.m.streamSubs.Add(1)
+	defer s.m.streamSubs.Add(-1)
 	streamNDJSON(w, r, func() ([]SweepProgress, chan struct{}) {
 		_, events, notify := sw.snapshot()
 		return events, notify

@@ -309,6 +309,157 @@ func TestSweepValidationAndAdmission(t *testing.T) {
 	}
 }
 
+// TestSweepPerCellStream: the sweep stream interleaves per-cell lines
+// (cell key + that cell's fraction, terminal cell_done) with the
+// aggregate, every cell appears, and the final line is still the
+// aggregate terminal event.
+func TestSweepPerCellStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sub, code := postSweep(t, ts, testSweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	keys := map[string]bool{}
+	for _, c := range sub.Cells {
+		keys[c.Key] = true
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + sub.SweepID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []SweepProgress
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var p SweepProgress
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad NDJSON %q: %v", sc.Text(), err)
+		}
+		events = append(events, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	cellFracs := map[string]float64{}
+	cellDone := map[string]bool{}
+	for _, p := range events {
+		if p.Cell == "" {
+			continue // aggregate line
+		}
+		if !keys[p.Cell] {
+			t.Fatalf("per-cell line for unknown cell %q", p.Cell)
+		}
+		if p.CellFrac < cellFracs[p.Cell] {
+			t.Fatalf("cell %s frac went backwards: %g after %g", p.Cell, p.CellFrac, cellFracs[p.Cell])
+		}
+		cellFracs[p.Cell] = p.CellFrac
+		if p.CellDone {
+			cellDone[p.Cell] = true
+		}
+		if p.Done {
+			t.Fatalf("per-cell line carries the sweep terminal flag: %+v", p)
+		}
+	}
+	for key := range keys {
+		if !cellDone[key] {
+			t.Errorf("cell %s never emitted a terminal per-cell line", key)
+		}
+	}
+	last := events[len(events)-1]
+	if !last.Done || last.Cell != "" || last.Status != string(stateDone) {
+		t.Fatalf("final line %+v, want aggregate terminal", last)
+	}
+}
+
+// TestSweepPagination: ?offset/limit window the cell table while the
+// aggregate numbers stay sweep-wide; bad parameters are 400.
+func TestSweepPagination(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// 6 cells: alpha × lambda, finished so the table is stable.
+	sw, code := postSweep(t, ts, `{
+		"base": {"preset": "quick", "protocol": "Direct", "nodes": 16, "duration": 300, "seeds": [1]},
+		"alpha": [0.2, 0.4, 0.6],
+		"lambda": [5, 10]
+	}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	full := waitSweepState(t, ts, sw.SweepID, stateDone)
+	if full.CellsTotal != 6 || len(full.Cells) != 6 {
+		t.Fatalf("full table %+v", full)
+	}
+
+	var page sweepResponse
+	getJSON(t, ts.URL+"/v1/sweeps/"+sw.SweepID+"?offset=2&limit=3", &page)
+	if page.CellsTotal != 6 || page.CellsDone != 6 || page.Offset != 2 || len(page.Cells) != 3 {
+		t.Fatalf("page %+v", page)
+	}
+	for i, c := range page.Cells {
+		if c.Key != full.Cells[2+i].Key {
+			t.Errorf("page cell %d is %s, want %s", i, c.Key, full.Cells[2+i].Key)
+		}
+	}
+	// CellsCached counts sweep-wide regardless of the window.
+	if page.CellsCached != full.CellsCached {
+		t.Errorf("page cached count %d != full %d", page.CellsCached, full.CellsCached)
+	}
+	// Tail window past the end clamps; limit=0 returns aggregate only.
+	getJSON(t, ts.URL+"/v1/sweeps/"+sw.SweepID+"?offset=5&limit=10", &page)
+	if len(page.Cells) != 1 || page.Cells[0].Key != full.Cells[5].Key {
+		t.Fatalf("tail page %+v", page)
+	}
+	getJSON(t, ts.URL+"/v1/sweeps/"+sw.SweepID+"?limit=0", &page)
+	if len(page.Cells) != 0 || page.CellsTotal != 6 {
+		t.Fatalf("aggregate-only page %+v", page)
+	}
+	for _, q := range []string{"?offset=-1", "?limit=-2", "?offset=x", "?limit=x"} {
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + sw.SweepID + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestSweepList: GET /v1/sweeps returns every retained sweep in creation
+// order with aggregate fields only.
+func TestSweepList(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var list struct {
+		Sweeps []sweepListEntry `json:"sweeps"`
+	}
+	getJSON(t, ts.URL+"/v1/sweeps", &list)
+	if len(list.Sweeps) != 0 {
+		t.Fatalf("fresh server lists %d sweeps", len(list.Sweeps))
+	}
+	first, code := postSweep(t, ts, testSweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	waitSweepState(t, ts, first.SweepID, stateDone)
+	second, code := postSweep(t, ts, testSweep) // fully cached now
+	if code != http.StatusOK {
+		t.Fatalf("resubmit status %d", code)
+	}
+	getJSON(t, ts.URL+"/v1/sweeps", &list)
+	if len(list.Sweeps) != 2 {
+		t.Fatalf("list has %d sweeps, want 2: %+v", len(list.Sweeps), list)
+	}
+	if list.Sweeps[0].SweepID != first.SweepID || list.Sweeps[1].SweepID != second.SweepID {
+		t.Errorf("list order %+v, want creation order %s, %s", list.Sweeps, first.SweepID, second.SweepID)
+	}
+	for i, e := range list.Sweeps {
+		if e.Status != string(stateDone) || e.CellsTotal != 2 || e.CellsDone != 2 || e.Frac != 1 {
+			t.Errorf("entry %d: %+v", i, e)
+		}
+	}
+}
+
 // TestSweepCachedServedWhileDraining: like handleSubmit's cached fast
 // path, a fully-cached sweep needs no queue slot and is served even
 // after Drain begins; a sweep needing simulation is refused with 503.
