@@ -197,6 +197,11 @@ func figure2(base experiment.ScenarioSpec, counts []int, seeds int, csvPrefix st
 	if cached > 0 {
 		fmt.Fprintf(os.Stderr, "figure 2: %d/%d cells served from cache\n", cached, len(results))
 	}
+	// The protocol axis shares one recorded world per (nodes, seed): with
+	// -cache, mobility simulates once and the other protocols replay.
+	if rec, rep := experiment.TraceRecordings(), experiment.TraceReplays(); rec > 0 || rep > 0 {
+		fmt.Fprintf(os.Stderr, "figure 2: trace fast path recorded %d worlds, replayed %d runs\n", rec, rep)
+	}
 	emit("Figure 2 — protocol comparison (λ=10)", series, csvPrefix, "2")
 }
 

@@ -123,6 +123,12 @@ func main() {
 	if cached > 0 {
 		fmt.Fprintf(os.Stderr, "sweep %s: %d/%d cells served from cache (%s)\n", label, cached, len(results), *cache)
 	}
+	// Routing/traffic-only axes share one recorded world per seed, so with
+	// -cache most cells replay the contact script instead of re-simulating
+	// mobility (see DESIGN.md "Trace record/replay").
+	if rec, rep := experiment.TraceRecordings(), experiment.TraceReplays(); rec > 0 || rep > 0 {
+		fmt.Fprintf(os.Stderr, "sweep %s: trace fast path recorded %d worlds, replayed %d runs\n", label, rec, rep)
+	}
 
 	title := fmt.Sprintf("Sweep %s (%s, n=%d)", label, *protocol, *nodes)
 	for _, m := range experiment.PaperMetrics {

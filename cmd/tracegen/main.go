@@ -1,95 +1,140 @@
-// Command tracegen records the contact trace of a scenario to a file (or
-// stdout) and prints summary statistics — contact rate and contact
-// duration quantiles — so a scenario's contact regime can be inspected and
-// replayed with internal/trace.
+// Command tracegen pre-records contact traces through the declarative
+// spec path — the same ScenarioSpec document dtnd and the sweep CLIs
+// accept — and persists them content-addressed into the shared result
+// store. A sweep or daemon job over the same world then replays the
+// recorded contact script instead of re-simulating mobility (see
+// DESIGN.md "Trace record/replay"). Per-seed trace keys and contact
+// statistics (rate, duration quantiles) print to stderr; -o additionally
+// writes one seed's binary script to a file for offline inspection.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiment"
-	"repro/internal/msg"
-	"repro/internal/network"
+	"repro/internal/resultcache"
 	"repro/internal/trace"
 )
 
-// recorder is a passive router that feeds the trace recorder. Each node
-// reports only pairs where it has the lower id, so episodes appear once.
-type recorder struct {
-	self *network.Node
-	rec  *trace.Recorder
-}
-
-func (r *recorder) Init(self *network.Node, _ *network.World)         {}
-func (r *recorder) InitialReplicas(*msg.Message) int                  { return 1 }
-func (r *recorder) Created(float64, *msg.Copy)                        {}
-func (r *recorder) Received(float64, *msg.Copy, *network.Node)        {}
-func (r *recorder) Sent(float64, *network.Plan, *network.Node, bool)  {}
-func (r *recorder) NextTransfer(float64, *network.Node) *network.Plan { return nil }
-
-func (r *recorder) ContactUp(t float64, peer *network.Node) {
-	if r.self.ID < peer.ID {
-		r.rec.Up(t, r.self.ID, peer.ID)
-	}
-}
-
-func (r *recorder) ContactDown(t float64, peer *network.Node) {
-	if r.self.ID < peer.ID {
-		r.rec.Down(t, r.self.ID, peer.ID)
-	}
-}
-
-// initSelf lets Init capture the node (split out so the struct literal in
-// main stays simple).
-func (r *recorder) bind(self *network.Node) { r.self = self }
-
 func main() {
-	var (
-		nodes    = flag.Int("nodes", 120, "node count")
-		duration = flag.Float64("duration", 10000, "simulated seconds")
-		seed     = flag.Int64("seed", 1, "seed")
-		mobility = flag.String("mobility", "bus", "mobility model: bus or rwp")
-		out      = flag.String("o", "", "output file (default stdout; stats go to stderr)")
-	)
-	flag.Parse()
-
-	s := experiment.Default()
-	s.Nodes = *nodes
-	s.Duration = *duration
-	s.Seed = *seed
-	s.Mobility = *mobility
-
-	rec := trace.NewRecorder(*nodes)
-	w, runner := experiment.BuildBare(s, func(int) network.Router { return &recorder{rec: rec} })
-	for _, n := range w.Nodes() {
-		n.Router.(*recorder).bind(n)
-	}
-	runner.Run(s.Duration)
-	tr := rec.Finish(s.Duration)
-
-	dst := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		dst = f
-	}
-	if err := tr.Write(dst); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	printStats(tr, s.Duration, *nodes)
+	os.Exit(run(os.Args[1:], os.Stderr))
 }
 
-func printStats(tr *trace.Trace, duration float64, n int) {
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specJSON = fs.String("spec", "", "scenario spec JSON (the document dtnd accepts); individual flags below override its fields")
+		preset   = fs.String("preset", "", "base preset: quick, cityscale, metroscale (empty = paper defaults)")
+		nodes    = fs.Int("nodes", 0, "node count override")
+		duration = fs.Float64("duration", 0, "simulated seconds override")
+		mobility = fs.String("mobility", "", "mobility model override: bus or rwp")
+		seeds    = fs.String("seeds", "", "comma-separated seeds to record (default the spec's seed list)")
+		storeDir = fs.String("store", "", "content-addressed store directory shared with dtnd/sweep/figures; recorded traces land there under their trace key")
+		out      = fs.String("o", "", "also write the binary contact script to this file (single-seed runs only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *storeDir == "" && *out == "" {
+		fmt.Fprintln(stderr, "tracegen: nothing to do: set -store (shared replay store) and/or -o (script file)")
+		return 2
+	}
+
+	var sp experiment.ScenarioSpec
+	if *specJSON != "" {
+		parsed, err := experiment.ParseSpec([]byte(*specJSON))
+		if err != nil {
+			fmt.Fprintf(stderr, "tracegen: -spec: %v\n", err)
+			return 2
+		}
+		sp = parsed
+	}
+	if *preset != "" {
+		sp.Preset = *preset
+	}
+	if *nodes > 0 {
+		sp.Nodes = experiment.Ptr(*nodes)
+	}
+	if *duration > 0 {
+		sp.Duration = experiment.Ptr(*duration)
+	}
+	if *mobility != "" {
+		sp.Mobility = experiment.Ptr(*mobility)
+	}
+	if *seeds != "" {
+		list, err := parseSeeds(*seeds)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracegen: -seeds: %v\n", err)
+			return 2
+		}
+		sp.Seeds = list
+	}
+
+	s, err := sp.Scenario()
+	if err != nil {
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 2
+	}
+	seedList := sp.SeedList()
+	if *out != "" && len(seedList) != 1 {
+		fmt.Fprintf(stderr, "tracegen: -o needs exactly one seed, spec has %d\n", len(seedList))
+		return 2
+	}
+
+	var store *resultcache.Store
+	if *storeDir != "" {
+		st, err := resultcache.Open(*storeDir, 0)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracegen: store: %v\n", err)
+			return 1
+		}
+		store = st
+	}
+
+	for _, seed := range seedList {
+		sc := s
+		sc.Seed = seed
+		script, key, err := experiment.RecordTrace(context.Background(), sc, store)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracegen: seed %d: %v\n", seed, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "seed %d: trace %s (%d nodes, %d events)\n", seed, key, script.N, len(script.Events))
+		printStats(stderr, script.Episodes(sc.Tick, sc.Duration), sc.Duration, sc.Nodes)
+		if *out != "" {
+			if err := os.WriteFile(*out, script.Encode(), 0o644); err != nil {
+				fmt.Fprintf(stderr, "tracegen: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "wrote %s\n", *out)
+		}
+	}
+	return 0
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func printStats(w io.Writer, tr *trace.Trace, duration float64, n int) {
 	if len(tr.Contacts) == 0 {
-		fmt.Fprintln(os.Stderr, "no contacts recorded")
+		fmt.Fprintln(w, "no contacts recorded")
 		return
 	}
 	durs := make([]float64, 0, len(tr.Contacts))
@@ -101,8 +146,8 @@ func printStats(tr *trace.Trace, duration float64, n int) {
 	}
 	sort.Float64s(durs)
 	q := func(p float64) float64 { return durs[int(p*float64(len(durs)-1))] }
-	fmt.Fprintf(os.Stderr, "contacts: %d over %.0fs, %.2f per node-hour\n",
+	fmt.Fprintf(w, "contacts: %d over %.0fs, %.2f per node-hour\n",
 		len(tr.Contacts), duration, float64(len(tr.Contacts))*2*3600/(float64(n)*duration))
-	fmt.Fprintf(os.Stderr, "contact duration: mean %.1fs median %.1fs p90 %.1fs\n",
+	fmt.Fprintf(w, "contact duration: mean %.1fs median %.1fs p90 %.1fs\n",
 		sum/float64(len(durs)), q(0.5), q(0.9))
 }

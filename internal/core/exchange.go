@@ -124,16 +124,17 @@ func (m *MeetingMatrix) floodVolume() ExchangeStats {
 	return st
 }
 
-// advertisedCount counts the rows a delta digest to the peer with
-// watermark seen carries: published rows mutated since the peers last met.
-func (m *MeetingMatrix) advertisedCount(seen uint64) int {
-	n := 0
+// advertised counts and sizes the rows a delta digest to the peer with
+// watermark seen carries: published rows mutated since the peers last
+// met, each costing a varint (owner, stamp) entry.
+func (m *MeetingMatrix) advertised(seen uint64) (rows, payloadBytes int) {
 	for i, u := range m.updated {
 		if u >= 0 && m.rowVer[i] > seen {
-			n++
+			rows++
+			payloadBytes += DigestEntryLen(m.ids[i], u)
 		}
 	}
-	return n
+	return rows, payloadBytes
 }
 
 // mergeDelta is Merge restricted to the rows other advertised (mutated
@@ -165,8 +166,8 @@ func (m *MeetingMatrix) mergeDelta(other *MeetingMatrix, otherSeen uint64) Excha
 func syncPairDelta(a, b *MeetingMatrix, aID, bID int) ExchangeStats {
 	aSeen, bSeen := a.seen[bID], b.seen[aID]
 	var st ExchangeStats
-	st.AddDigest(a.advertisedCount(aSeen))
-	st.AddDigest(b.advertisedCount(bSeen))
+	st.AddDigest(a.advertised(aSeen))
+	st.AddDigest(b.advertised(bSeen))
 	// Same sequential direction order as SyncPair: a absorbs b's rows
 	// first, then b reads a's merged state. Rows a just learned carry a
 	// fresh stamp past aSeen but equal freshness, so they never re-ship.
@@ -220,16 +221,17 @@ func (s *SparseRows) floodVolume() ExchangeStats {
 	return st
 }
 
-// advertisedCount counts the rows a delta digest carries: published rows
-// mutated past the watermark, or all published rows for a full digest.
-func (s *SparseRows) advertisedCount(seen uint64, full bool) int {
-	n := 0
-	for _, r := range s.rows {
+// advertised counts and sizes the rows a delta digest carries: published
+// rows mutated past the watermark, or all published rows for a full
+// digest, each costing a varint (owner, stamp) entry.
+func (s *SparseRows) advertised(seen uint64, full bool) (rows, payloadBytes int) {
+	for id, r := range s.rows {
 		if r.Updated >= 0 && (full || r.ver > seen) {
-			n++
+			rows++
+			payloadBytes += DigestEntryLen(id, r.Updated)
 		}
 	}
-	return n
+	return rows, payloadBytes
 }
 
 func syncRowsDelta(a, b *SparseRows, aID, bID int) ExchangeStats {
@@ -241,8 +243,8 @@ func syncRowsDelta(a, b *SparseRows, aID, bID int) ExchangeStats {
 	aSeen, bSeen := a.seen[bID], b.seen[aID]
 	aEvictPre, bEvictPre := a.evictGen, b.evictGen
 	var st ExchangeStats
-	st.AddDigest(a.advertisedCount(aSeen, aFull))
-	st.AddDigest(b.advertisedCount(bSeen, bFull))
+	st.AddDigest(a.advertised(aSeen, aFull))
+	st.AddDigest(b.advertised(bSeen, bFull))
 	// Same sequential direction order as the fresher path (a absorbs b
 	// first, b then reads a's merged — and possibly just-evicted — state),
 	// so the shipped row sets match fresher exactly even when a's cap

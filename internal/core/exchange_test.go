@@ -255,13 +255,21 @@ func TestParseExchangeMode(t *testing.T) {
 }
 
 // TestExchangeStatsDigestAccounting pins the byte model of the digest
-// round-trip.
+// round-trip: varint (owner, stamp) entries plus the fixed header and
+// request costs.
 func TestExchangeStatsDigestAccounting(t *testing.T) {
 	var st ExchangeStats
-	st.AddDigest(3)
+	// Three advertised rows as a digest would size them.
+	payload := DigestEntryLen(7, 100) + DigestEntryLen(300, 2.5) + DigestEntryLen(70000, 9000)
+	st.AddDigest(3, payload)
 	st.AddRequests(2)
 	st.AddRow(5)
-	wantDigest := digestHeaderBytes + 3*digestEntryBytes + 2*requestEntryBytes
+	// uvarintLen(7)=1 + uvarintLen(100000)=3; uvarintLen(300)=2 +
+	// uvarintLen(2500)=2; uvarintLen(70000)=3 + uvarintLen(9000000)=4.
+	if payload != 4+4+7 {
+		t.Fatalf("varint payload = %d, want 15", payload)
+	}
+	wantDigest := digestHeaderBytes + payload + 2*requestEntryBytes
 	if st.DigestBytes != wantDigest {
 		t.Fatalf("DigestBytes = %d, want %d", st.DigestBytes, wantDigest)
 	}
@@ -270,6 +278,23 @@ func TestExchangeStatsDigestAccounting(t *testing.T) {
 	}
 	if st.DigestRows != 3 || st.Rows != 1 || st.Entries != 5 {
 		t.Fatalf("counter mismatch: %+v", st)
+	}
+}
+
+// TestUvarintLen pins the varint size helper against the encoding the
+// cost model claims (7 bits per byte).
+func TestUvarintLen(t *testing.T) {
+	for _, tc := range []struct {
+		v    uint64
+		want int
+	}{{0, 1}, {127, 1}, {128, 2}, {16383, 2}, {16384, 3}, {1 << 28, 5}, {^uint64(0), 10}} {
+		if got := uvarintLen(tc.v); got != tc.want {
+			t.Fatalf("uvarintLen(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// digestStamp quantizes to whole milliseconds.
+	if digestStamp(2.5) != 2500 || digestStamp(0) != 0 || digestStamp(1.0001) != 1000 {
+		t.Fatalf("digestStamp quantization wrong: %d %d %d", digestStamp(2.5), digestStamp(0), digestStamp(1.0001))
 	}
 }
 

@@ -68,16 +68,48 @@ type ExchangeStats struct {
 // (owner id 4 B + freshness timestamp 8 B + entry count 4 B) plus
 // (peer id 4 B + float64 value 8 B) per known entry. A delta digest costs
 // a header (sender id 4 B + entry count 4 B + eviction generation 8 B)
-// per direction plus (owner id 4 B + freshness stamp 8 B) per advertised
-// row, and each row pulled in response costs an owner-id request entry.
+// per direction plus, per advertised row, a varint owner id and a varint
+// millisecond-quantized freshness stamp (2–12 B, ~5–8 B for realistic
+// ids and sim times — versus 12 B under the old fixed (4 B id + 8 B
+// float64 stamp) encoding; city-scale delta gossip is digest-bound, so
+// the digest entry is the byte that matters). Each row pulled in
+// response costs an owner-id request entry.
 const (
 	rowHeaderBytes = 16
 	entryBytes     = 12
 
 	digestHeaderBytes = 16
-	digestEntryBytes  = 12
 	requestEntryBytes = 4
 )
+
+// uvarintLen returns the encoded size of v as an unsigned varint (1–10 B)
+// — binary.PutUvarint's length without the scratch buffer.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// digestStamp quantizes a row freshness timestamp to whole milliseconds
+// for the digest wire model. Millisecond resolution is far below any
+// tick length, so distinct stamps stay distinct; quantization only
+// affects metering, never the merge (freshness comparisons use the full
+// float64 timestamps).
+func digestStamp(updated float64) uint64 {
+	return uint64(math.Round(updated * 1000))
+}
+
+// DigestEntryLen is the wire size of one digest entry: owner id and
+// millisecond freshness stamp, both varint-encoded. Summed per advertised
+// row, so the total is iteration-order independent — dense and sparse
+// stores meter identical digests for identical exchanges. Exported for
+// routers that meter their own delta gossip (MaxProp's vector exchange).
+func DigestEntryLen(owner int, updated float64) int {
+	return uvarintLen(uint64(owner)) + uvarintLen(digestStamp(updated))
+}
 
 // AddRow accounts one copied row with n known entries.
 func (e *ExchangeStats) AddRow(entries int) {
@@ -86,10 +118,11 @@ func (e *ExchangeStats) AddRow(entries int) {
 	e.Bytes += rowHeaderBytes + entries*entryBytes
 }
 
-// AddDigest accounts one digest transmission advertising n rows.
-func (e *ExchangeStats) AddDigest(entries int) {
-	e.DigestRows += entries
-	db := digestHeaderBytes + entries*digestEntryBytes
+// AddDigest accounts one digest transmission advertising rows whose
+// varint-encoded (owner, stamp) entries total payloadBytes.
+func (e *ExchangeStats) AddDigest(rows, payloadBytes int) {
+	e.DigestRows += rows
+	db := digestHeaderBytes + payloadBytes
 	e.DigestBytes += db
 	e.Bytes += db
 }

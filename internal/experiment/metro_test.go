@@ -111,8 +111,10 @@ func TestDeltaGossipReduction(t *testing.T) {
 	}
 	ratio := float64(bytes["flood"]) / float64(bytes["delta"])
 	t.Logf("flood %d B, delta %d B: %.2fx reduction", bytes["flood"], bytes["delta"], ratio)
-	if ratio < 10 {
-		t.Errorf("delta gossip reduction %.2fx, want >= 10x (flood %d B, delta %d B)",
+	// Gate raised from 10x when digest stamps went varint (measured
+	// ~11.7x on this scenario, ~11.2x under the fixed 12 B entries).
+	if ratio < 11 {
+		t.Errorf("delta gossip reduction %.2fx, want >= 11x (flood %d B, delta %d B)",
 			ratio, bytes["flood"], bytes["delta"])
 	}
 }

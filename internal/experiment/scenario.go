@@ -111,6 +111,18 @@ type Scenario struct {
 	MinDwell, MaxDwell float64
 	Map                mapgen.Config
 	MapSeed            int64 // the map is shared across seeds and protocols
+
+	// Trace selects the contact-trace fast path for spec-driven runs
+	// ("" = live simulation): "record" runs live and persists the contact
+	// script, "replay" requires a recorded script and drives the world
+	// from it (skipping mobility and contact detection entirely), "auto"
+	// replays when a script exists and records otherwise. Replayed runs
+	// are bit-identical to live ones, so the mode is excluded from the
+	// result-cache canonical form (json:"-") — live and replayed results
+	// share one content address. Only the store-threaded spec path
+	// (RunSpecStore and the sweep/daemon layers above it) acts on it;
+	// Scenario.Run and Build always run live.
+	Trace string `json:"-"`
 }
 
 // Default returns the paper's Section V-A settings: 10 m range, 2 Mb/s,
@@ -187,20 +199,54 @@ func mustResolve(sp ScenarioSpec) Scenario {
 // want Run; Build is exposed for tests and tools that need to inspect the
 // world mid-flight.
 func (s Scenario) Build() (*network.World, *sim.Runner) {
+	return s.build(nil)
+}
+
+// BuildReplay constructs the scenario's world driven by a recorded
+// contact script instead of live mobility: routers, buffers, traffic and
+// metrics are identical to Build, but nodes are stationary and the
+// engine fires the scripted contact events — mobility advance, grid
+// maintenance and pair sweeps are skipped entirely. The script must come
+// from a recording of this exact world (the trace content address
+// guarantees it), in which case every summary field is bit-identical to
+// the live run.
+func (s Scenario) BuildReplay(script []network.ScriptEvent) (*network.World, *sim.Runner) {
+	return s.build(script)
+}
+
+// build is the shared world constructor; script != nil selects replay.
+func (s Scenario) build(script []network.ScriptEvent) (*network.World, *sim.Runner) {
 	if s.Nodes < 2 {
 		panic("experiment: need at least two nodes")
 	}
 	runner := sim.NewRunner(s.Tick)
-	w := network.New(s.networkConfig(), runner)
+	cfg := s.networkConfig()
+	if script != nil {
+		cfg.Shards = 0 // scripted ticks are too cheap to split
+	}
+	w := network.New(cfg, runner)
+	if script != nil {
+		w.SetContactScript(script)
+	}
 
+	// The road map is still loaded for replay builds: community
+	// registries (CR's districts) derive from it. mapgen.Load memoizes,
+	// so repeated replays of one map pay for it once per process.
 	rm := mapgen.Load(s.Map, s.MapSeed)
 	reg := community.FromAssigner(s.Nodes, rm.DistrictOfNode)
 	factory := s.routerFactory(reg)
 
 	root := xrand.New(s.Seed)
+	parked := &mobility.Stationary{}
 	for i := 0; i < s.Nodes; i++ {
+		// Derive the node stream even when the mover is never built:
+		// Derive consumes parent-stream state, and the traffic stream
+		// derived below must match the live run bit-for-bit.
 		rng := root.Derive(fmt.Sprintf("node-%d", i))
-		mv := buildMover(s, rm, i, rng)
+		var mv mobility.Mover = parked
+		if script == nil {
+			mv = buildMover(s, rm, i, rng)
+		}
 		w.AddNode(mv, buffer.New(s.BufBytes, nil), factory())
 	}
 	w.Start()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/resultcache"
 )
 
 // This file is the declarative face of the experiment layer: ScenarioSpec
@@ -83,6 +84,12 @@ type ScenarioSpec struct {
 	MaxDwell *float64 `json:"max_dwell,omitempty"`
 	MapSeed  *int64   `json:"map_seed,omitempty"`
 	Map      *MapSpec `json:"map,omitempty"`
+
+	// Trace selects the contact-trace fast path: "record", "replay" or
+	// "auto" (see Scenario.Trace). It requires a result store (dtnd, or a
+	// CLI with -cache) and never changes the result — replayed runs are
+	// bit-identical to live ones — so it is excluded from the cache key.
+	Trace *string `json:"trace,omitempty"`
 }
 
 // MapSpec overrides road-map generation parameters (mapgen.Config).
@@ -342,6 +349,9 @@ func (sp ScenarioSpec) apply(base Scenario) Scenario {
 	if sp.MapSeed != nil {
 		s.MapSeed = *sp.MapSeed
 	}
+	if sp.Trace != nil {
+		s.Trace = *sp.Trace
+	}
 	if m := sp.Map; m != nil {
 		if m.Width != nil {
 			s.Map.Width = *m.Width
@@ -471,6 +481,11 @@ func validateScenario(s Scenario) error {
 	if _, err := core.ParseExchangeMode(s.Gossip); err != nil {
 		return err
 	}
+	switch s.Trace {
+	case "", "record", "replay", "auto":
+	default:
+		return fmt.Errorf("unknown trace mode %q (have record, replay, auto)", s.Trace)
+	}
 	if s.Map.GridX < 2 || s.Map.GridY < 2 || s.Map.Lines < 1 || s.Map.StopsPerLine < 2 ||
 		s.Map.Districts < 1 || s.Map.Width <= 0 || s.Map.Height <= 0 {
 		return fmt.Errorf("degenerate map config %+v", s.Map)
@@ -547,12 +562,21 @@ func RunSpecProgress(sp ScenarioSpec, progress func(metrics.Progress)) ([]metric
 // It returns ctx.Err() on cancellation; a nil ctx never cancels, and a
 // run that completes is bit-identical to an uncancellable one.
 func RunSpecContext(ctx context.Context, sp ScenarioSpec, progress func(metrics.Progress)) ([]metrics.Summary, error) {
+	return RunSpecStore(ctx, sp, nil, progress)
+}
+
+// RunSpecStore is RunSpecContext with a result store attached, enabling
+// the spec's trace mode ("record"/"replay"/"auto"): recorded contact
+// scripts are looked up and persisted there. A nil store runs every seed
+// live ("auto" degrades gracefully; explicit "record"/"replay" error).
+func RunSpecStore(ctx context.Context, sp ScenarioSpec, store *resultcache.Store, progress func(metrics.Progress)) ([]metrics.Summary, error) {
 	s, err := sp.Scenario()
 	if err != nil {
 		return nil, err
 	}
 	seeds := sp.SeedList()
 	sums := make([]metrics.Summary, len(seeds))
+	errs := make([]error, len(seeds))
 
 	var mu sync.Mutex
 	fracs := make([]float64, len(seeds)) // per-seed completion in [0,1]
@@ -580,28 +604,26 @@ func RunSpecContext(ctx context.Context, sp ScenarioSpec, progress func(metrics.
 	forEachJobCtx(ctx, len(seeds), func(i int) {
 		sc := s
 		sc.Seed = seeds[i]
-		w, runner := sc.Build()
-		if progress == nil && ctx == nil {
-			runner.Run(sc.Duration)
-		} else {
-			// ~2% reporting (and cancellation-poll) granularity, at
-			// least every tick.
-			every := int(sc.Duration / sc.Tick / 50)
-			if every < 1 {
-				every = 1
-			}
-			var hook func(t float64)
-			if progress != nil {
-				hook = func(t float64) { emit(i, t, sc.Duration) }
-			}
-			if runner.RunContext(ctx, sc.Duration, every, hook) != nil {
-				return // cancelled mid-run; the ctx.Err() below reports it
-			}
+		var hook func(t float64)
+		if progress != nil {
+			hook = func(t float64) { emit(i, t, sc.Duration) }
 		}
-		sums[i] = w.Metrics.Summary()
+		sum, done, err := runScenario(ctx, sc, store, hook)
+		if err != nil {
+			errs[i] = fmt.Errorf("seed %d: %w", sc.Seed, err)
+			return
+		}
+		if done {
+			sums[i] = sum
+		}
 	})
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -615,6 +637,13 @@ func RunSpecContext(ctx context.Context, sp ScenarioSpec, progress func(metrics.
 // come back indexed [spec][seed]; every spec is validated before any
 // simulation starts. Cancellation follows RunSpecContext semantics.
 func RunSpecsContext(ctx context.Context, sps []ScenarioSpec) ([][]metrics.Summary, error) {
+	return RunSpecsStore(ctx, sps, nil)
+}
+
+// RunSpecsStore is RunSpecsContext with a result store attached: each
+// spec's trace mode runs against it (see RunSpecStore). The sweep path
+// uses it so protocol-only cells replay one recorded world per seed.
+func RunSpecsStore(ctx context.Context, sps []ScenarioSpec, store *resultcache.Store) ([][]metrics.Summary, error) {
 	type cellJob struct {
 		scenario Scenario
 		spec     int
@@ -635,24 +664,25 @@ func RunSpecsContext(ctx context.Context, sps []ScenarioSpec) ([][]metrics.Summa
 			jobs = append(jobs, cellJob{scenario: sc, spec: si, seed: i})
 		}
 	}
+	errs := make([]error, len(jobs))
 	forEachJobCtx(ctx, len(jobs), func(i int) {
 		j := jobs[i]
-		w, runner := j.scenario.Build()
-		if ctx == nil {
-			runner.Run(j.scenario.Duration)
-		} else {
-			every := int(j.scenario.Duration / j.scenario.Tick / 50)
-			if every < 1 {
-				every = 1
-			}
-			if runner.RunContext(ctx, j.scenario.Duration, every, nil) != nil {
-				return
-			}
+		sum, done, err := runScenario(ctx, j.scenario, store, nil)
+		if err != nil {
+			errs[i] = fmt.Errorf("spec %d seed %d: %w", j.spec, j.scenario.Seed, err)
+			return
 		}
-		out[j.spec][j.seed] = w.Metrics.Summary()
+		if done {
+			out[j.spec][j.seed] = sum
+		}
 	})
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
 	}

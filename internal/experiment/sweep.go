@@ -218,7 +218,17 @@ func RunSweep(ctx context.Context, sw SweepSpec, store *resultcache.Store) ([]Ce
 		for k, i := range todo {
 			specs[k] = cells[i].Spec
 		}
-		perSpec, err := RunSpecsContext(ctx, specs)
+		// Trace fast path: cells that share a recorded world (protocol/
+		// routing-only axes) record the base world's contact script once
+		// per seed and replay it for every cell, instead of re-simulating
+		// mobility per cell. Trace never enters the cache key, so the
+		// results are served and stored exactly as live ones.
+		if recs := applyTracePlan(specs, store); len(recs) > 0 {
+			if err := recordTraces(ctx, recs, store); err != nil {
+				return nil, err
+			}
+		}
+		perSpec, err := RunSpecsStore(ctx, specs, store)
 		if err != nil {
 			return nil, err
 		}

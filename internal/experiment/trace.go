@@ -1,0 +1,315 @@
+package experiment
+
+// Contact-trace record/replay orchestration: the world-defining subset of
+// a scenario is hashed into a trace content address, recorded contact
+// scripts are persisted as blobs in the shared result store, and the
+// store-threaded run path (RunSpecStore, sweeps, dtnd jobs) dispatches on
+// Scenario.Trace to run replayed worlds that skip mobility and contact
+// detection entirely. Replay is sound because the contact sequence
+// depends only on the world fields below — routers, traffic, buffers and
+// gossip never read positions or perturb movers — and the engine is
+// bit-deterministic, so a replayed run's summary is identical to the
+// live run it stands in for (pinned by TestReplayParity*).
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mapgen"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/network"
+	"repro/internal/resultcache"
+	"repro/internal/trace"
+)
+
+// TraceVersion is baked into every trace content address. Bump it
+// whenever the recorded contact sequence could change for an unchanged
+// world (mover RNG streams, detector semantics, script wire format).
+const TraceVersion = 1
+
+// traceWorld is the hashed trace-key payload: exactly the fields that
+// determine a world's contact sequence. Protocol, traffic, buffers,
+// bandwidth, gossip and sharding are deliberately absent — scenarios
+// differing only in those share one recorded world.
+type traceWorld struct {
+	Version  int
+	Nodes    int
+	Seed     int64
+	Duration float64
+	Tick     float64
+	Range    float64
+	Mobility string
+	MinSpeed float64
+	MaxSpeed float64
+	MinDwell float64
+	MaxDwell float64
+	Map      mapgen.Config
+	MapSeed  int64
+}
+
+func traceWorldOf(s Scenario) traceWorld {
+	return traceWorld{
+		Version:  TraceVersion,
+		Nodes:    s.Nodes,
+		Seed:     s.Seed,
+		Duration: s.Duration,
+		Tick:     s.Tick,
+		Range:    s.Range,
+		Mobility: s.Mobility,
+		MinSpeed: s.MinSpeed,
+		MaxSpeed: s.MaxSpeed,
+		MinDwell: s.MinDwell,
+		MaxDwell: s.MaxDwell,
+		Map:      s.Map,
+		MapSeed:  s.MapSeed,
+	}
+}
+
+// TraceKey returns the content address of the scenario's recorded world:
+// the SHA-256 of its world-defining fields (seed included). Scenarios
+// that differ only in protocol or routing parameters share a key.
+func TraceKey(s Scenario) string {
+	data, err := json.Marshal(traceWorldOf(s))
+	if err != nil {
+		panic("experiment: trace key marshal: " + err.Error()) // fixed struct, cannot fail
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// traceGroupKey is TraceKey with the seed zeroed — the sweep layers group
+// cells by it to find cells that share recorded worlds across the whole
+// seed list.
+func traceGroupKey(s Scenario) string {
+	s.Seed = 0
+	return TraceKey(s)
+}
+
+// TraceGroup resolves a spec and returns its trace group key — the
+// content address of its recorded world with the seed zeroed. Specs in
+// the same group (protocol/routing-only differences) share recorded
+// contact scripts across their whole seed list. ok is false when the
+// spec does not resolve; callers treat such cells as ungrouped.
+func TraceGroup(sp ScenarioSpec) (string, bool) {
+	s, err := sp.Scenario()
+	if err != nil {
+		return "", false
+	}
+	return traceGroupKey(s), true
+}
+
+// Process-wide trace counters, for tests and the daemon's /metrics: how
+// many worlds were recorded (live or bare) and how many runs were served
+// by replay instead of live simulation.
+var (
+	traceRecordings atomic.Int64
+	traceReplays    atomic.Int64
+)
+
+// TraceRecordings returns the number of contact-trace recordings
+// performed by this process.
+func TraceRecordings() int64 { return traceRecordings.Load() }
+
+// TraceReplays returns the number of simulation runs served by contact
+// replay instead of live mobility in this process.
+func TraceReplays() int64 { return traceReplays.Load() }
+
+// loadScript fetches and decodes the recorded script for the scenario.
+// Any failure — absent blob, torn write, format drift, node-count
+// mismatch — is a miss; the caller records instead.
+func loadScript(store *resultcache.Store, s Scenario, key string) (*trace.Script, bool) {
+	data, ok := store.GetTrace(key)
+	if !ok {
+		return nil, false
+	}
+	sc, err := trace.DecodeScript(data)
+	if err != nil || sc.N != s.Nodes {
+		return nil, false
+	}
+	return sc, true
+}
+
+// scriptEvents converts a decoded script to the engine's event type.
+func scriptEvents(sc *trace.Script) []network.ScriptEvent {
+	evs := make([]network.ScriptEvent, len(sc.Events))
+	for i, e := range sc.Events {
+		evs[i] = network.ScriptEvent(e)
+	}
+	return evs
+}
+
+// nullRouter is the passive router of bare recording worlds: with no
+// traffic generator installed, no messages ever exist and contacts carry
+// no transfers, so a bare run costs mobility + detection only — and its
+// contact sequence is identical to any protocol run of the same world.
+type nullRouter struct{}
+
+func (nullRouter) Init(*network.Node, *network.World)                {}
+func (nullRouter) InitialReplicas(*msg.Message) int                  { return 1 }
+func (nullRouter) ContactUp(float64, *network.Node)                  {}
+func (nullRouter) ContactDown(float64, *network.Node)                {}
+func (nullRouter) NextTransfer(float64, *network.Node) *network.Plan { return nil }
+func (nullRouter) Created(float64, *msg.Copy)                        {}
+func (nullRouter) Received(float64, *msg.Copy, *network.Node)        {}
+func (nullRouter) Sent(float64, *network.Plan, *network.Node, bool)  {}
+
+// RecordTrace runs a bare mobility-only world for the scenario (no
+// routers, no traffic), records its contact script and persists it under
+// the scenario's trace key. It returns the script and its key. The
+// context cancels between ticks; a cancelled recording persists nothing.
+func RecordTrace(ctx context.Context, s Scenario, store *resultcache.Store) (*trace.Script, string, error) {
+	key := TraceKey(s)
+	w, runner := BuildBare(s, func(int) network.Router { return nullRouter{} })
+	rec := trace.NewScriptRecorder(s.Nodes)
+	w.OnContact(rec.Note)
+	every := pollEvery(s)
+	if err := runner.RunContext(ctx, s.Duration, every, nil); err != nil {
+		return nil, key, err
+	}
+	sc := rec.Script()
+	traceRecordings.Add(1)
+	if store != nil {
+		if err := store.PutTrace(key, sc.Encode()); err != nil {
+			return sc, key, fmt.Errorf("experiment: persist trace %s: %w", key, err)
+		}
+	}
+	return sc, key, nil
+}
+
+// pollEvery is the shared tick granularity for progress emission and
+// cancellation polling: ~2% of the run, at least every tick.
+func pollEvery(s Scenario) int {
+	every := int(s.Duration / s.Tick / 50)
+	if every < 1 {
+		every = 1
+	}
+	return every
+}
+
+// applyTracePlan inspects a sweep's to-simulate cell specs, groups them
+// by shared recorded world (traceGroupKey — the world-defining fields
+// with the seed zeroed), and marks every cell of a shareable group with
+// Trace="auto" in place. A group is shareable when two or more cells
+// share one world (routing/protocol-only axes) or when its traces are
+// already recorded. It returns the scenarios to pre-record: one per
+// (shared world, seed) the store is missing. Cells whose spec sets Trace
+// explicitly are left untouched — the user's choice wins.
+func applyTracePlan(specs []ScenarioSpec, store *resultcache.Store) []Scenario {
+	if store == nil {
+		return nil
+	}
+	groups := map[string][]int{}
+	scens := make([]Scenario, len(specs))
+	for i, sp := range specs {
+		if sp.Trace != nil {
+			continue
+		}
+		s, err := sp.Scenario()
+		if err != nil {
+			continue // Cells() validated already; be safe anyway
+		}
+		scens[i] = s
+		g := traceGroupKey(s)
+		groups[g] = append(groups[g], i)
+	}
+	var recs []Scenario
+	for _, idxs := range groups {
+		s0 := scens[idxs[0]]
+		var missing []Scenario
+		for _, seed := range specs[idxs[0]].SeedList() {
+			sc := s0
+			sc.Seed = seed
+			if !store.HasTrace(TraceKey(sc)) {
+				missing = append(missing, sc)
+			}
+		}
+		if len(idxs) < 2 && len(missing) > 0 {
+			continue // a lone live cell gains nothing from recording first
+		}
+		recs = append(recs, missing...)
+		for _, i := range idxs {
+			specs[i].Trace = ptr("auto")
+		}
+	}
+	return recs
+}
+
+// recordTraces pre-records the given worlds on the shared pool. Failures
+// of individual recordings are tolerated — the affected cells fall back
+// to live runs (recording again, best effort) — but cancellation aborts.
+func recordTraces(ctx context.Context, scens []Scenario, store *resultcache.Store) error {
+	forEachJobCtx(ctx, len(scens), func(i int) {
+		_, _, _ = RecordTrace(ctx, scens[i], store)
+	})
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// runScenario executes one resolved (scenario, seed) through the trace
+// dispatch: live, replayed, or live-while-recording, per s.Trace and
+// what the store holds. hook (optional) observes tick progress. It
+// returns done=false without error when ctx cancelled the run mid-way.
+func runScenario(ctx context.Context, s Scenario, store *resultcache.Store, hook func(t float64)) (sum metrics.Summary, done bool, err error) {
+	mode := s.Trace
+	if store == nil && mode != "" {
+		if mode == "record" || mode == "replay" {
+			return sum, false, fmt.Errorf("trace mode %q requires a result store", mode)
+		}
+		mode = "" // auto degrades to live when there is nowhere to look
+	}
+
+	var script *trace.Script
+	key := ""
+	switch mode {
+	case "":
+	case "record":
+		key = TraceKey(s)
+	case "replay", "auto":
+		key = TraceKey(s)
+		if sc, ok := loadScript(store, s, key); ok {
+			script = sc
+		} else if mode == "replay" {
+			return sum, false, fmt.Errorf("no recorded trace %s for replay", key)
+		}
+	default:
+		return sum, false, fmt.Errorf("unknown trace mode %q (have record, replay, auto)", mode)
+	}
+
+	if script != nil {
+		w, runner := s.BuildReplay(scriptEvents(script))
+		if runner.RunContext(ctx, s.Duration, pollEvery(s), hook) != nil {
+			return sum, false, nil // cancelled mid-run
+		}
+		traceReplays.Add(1)
+		return w.Metrics.Summary(), true, nil
+	}
+
+	// Live run; in record (or auto-with-no-script) mode the protocol run
+	// doubles as the recording — mobility is simulated once, not twice.
+	w, runner := s.Build()
+	var rec *trace.ScriptRecorder
+	if key != "" {
+		rec = trace.NewScriptRecorder(s.Nodes)
+		w.OnContact(rec.Note)
+	}
+	if runner.RunContext(ctx, s.Duration, pollEvery(s), hook) != nil {
+		return sum, false, nil // cancelled mid-run; persist nothing
+	}
+	if rec != nil {
+		traceRecordings.Add(1)
+		if err := store.PutTrace(key, rec.Script().Encode()); err != nil && mode == "record" {
+			// Explicit record mode promised a persisted trace; auto mode
+			// treats the blob as a best-effort optimization and the run's
+			// summary stands either way.
+			return sum, false, fmt.Errorf("experiment: persist trace %s: %w", key, err)
+		}
+	}
+	return w.Metrics.Summary(), true, nil
+}

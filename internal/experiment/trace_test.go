@@ -1,0 +1,440 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/resultcache"
+	"repro/internal/trace"
+)
+
+// traceTestScenario is a small world for record/replay tests: Quick
+// physics, shrunk further so each parity test runs several worlds within
+// a unit-test budget.
+func traceTestScenario(seed int64) Scenario {
+	s := Quick()
+	s.Nodes = 40
+	s.Duration = 600
+	s.Seed = seed
+	return s
+}
+
+func openStore(t testing.TB) *resultcache.Store {
+	t.Helper()
+	store, err := resultcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// reRecord replays the script through a fresh world of scenario s while
+// recording the replayed contact transitions, returning their encoding —
+// the bit-parity probe: a replayed world must emit the exact event
+// sequence it was fed.
+func reRecord(t testing.TB, s Scenario, script *trace.Script) []byte {
+	t.Helper()
+	w, runner := s.BuildReplay(scriptEvents(script))
+	if !w.Scripted() {
+		t.Fatal("BuildReplay world is not scripted")
+	}
+	rec := trace.NewScriptRecorder(s.Nodes)
+	w.OnContact(rec.Note)
+	runner.Run(s.Duration)
+	return rec.Script().Encode()
+}
+
+// TestReplayParityQuick is the core soundness contract at Quick scale: a
+// run recorded during live simulation, then replayed, produces (a) a
+// bit-identical metrics summary — protocol, traffic, buffers and gossip
+// all included — and (b) a bit-identical contact event sequence when the
+// replayed world is itself re-recorded.
+func TestReplayParityQuick(t *testing.T) {
+	store := openStore(t)
+	s := traceTestScenario(3)
+
+	s.Trace = "record"
+	live, done, err := runScenario(context.Background(), s, store, nil)
+	if err != nil || !done {
+		t.Fatalf("record run: done=%v err=%v", done, err)
+	}
+	key := TraceKey(s)
+	data, ok := store.GetTrace(key)
+	if !ok {
+		t.Fatalf("record run persisted no trace under %s", key)
+	}
+	script, err := trace.DecodeScript(data)
+	if err != nil {
+		t.Fatalf("persisted trace does not decode: %v", err)
+	}
+
+	s.Trace = "replay"
+	replayed, done, err := runScenario(context.Background(), s, store, nil)
+	if err != nil || !done {
+		t.Fatalf("replay run: done=%v err=%v", done, err)
+	}
+	if replayed != live {
+		t.Errorf("replayed summary diverged from live:\n live   %+v\n replay %+v", live, replayed)
+	}
+	if got := reRecord(t, s, script); !bytes.Equal(got, data) {
+		t.Error("re-recorded replay events differ from the recorded script")
+	}
+}
+
+// TestReplayParityCityScale re-pins the same contract on the 10k-node
+// city preset — the scale the fast path exists for — over a short window.
+func TestReplayParityCityScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node worlds in -short mode")
+	}
+	store := openStore(t)
+	s := CityScale()
+	s.Duration = 90
+	s.Seed = 2
+
+	s.Trace = "record"
+	live, done, err := runScenario(context.Background(), s, store, nil)
+	if err != nil || !done {
+		t.Fatalf("record run: done=%v err=%v", done, err)
+	}
+	if live.Contacts == 0 {
+		t.Fatal("no contacts in the city window — parity would be vacuous")
+	}
+	s.Trace = "replay"
+	replayed, done, err := runScenario(context.Background(), s, store, nil)
+	if err != nil || !done {
+		t.Fatalf("replay run: done=%v err=%v", done, err)
+	}
+	if replayed != live {
+		t.Errorf("replayed summary diverged from live:\n live   %+v\n replay %+v", live, replayed)
+	}
+	data, _ := store.GetTrace(TraceKey(s))
+	script, err := trace.DecodeScript(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reRecord(t, s, script); !bytes.Equal(got, data) {
+		t.Error("re-recorded replay events differ from the recorded script")
+	}
+}
+
+// TestBareRecordMatchesLiveRecord pins that a bare recording (RecordTrace:
+// null routers, no traffic) captures the same contact script a full
+// protocol run records — the property that lets sweeps pre-record one
+// cheap world and replay it for every protocol cell.
+func TestBareRecordMatchesLiveRecord(t *testing.T) {
+	store := openStore(t)
+	s := traceTestScenario(5)
+
+	script, key, err := RecordTrace(context.Background(), s, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := script.Encode()
+
+	liveStore := openStore(t)
+	s.Trace = "record"
+	if _, done, err := runScenario(context.Background(), s, liveStore, nil); err != nil || !done {
+		t.Fatalf("live record: done=%v err=%v", done, err)
+	}
+	liveData, ok := liveStore.GetTrace(key)
+	if !ok {
+		t.Fatal("live record persisted nothing")
+	}
+	if !bytes.Equal(bare, liveData) {
+		t.Error("bare recording differs from live-run recording of the same world")
+	}
+}
+
+// TestTraceModes pins the dispatch table of runScenario: explicit replay
+// without a trace is an error, record/replay without a store are errors,
+// auto degrades to live without a store, auto records on miss then
+// replays on hit, and unknown modes are rejected.
+func TestTraceModes(t *testing.T) {
+	s := traceTestScenario(9)
+	ctx := context.Background()
+
+	s.Trace = "replay"
+	if _, _, err := runScenario(ctx, s, openStore(t), nil); err == nil {
+		t.Error("replay with no recorded trace succeeded")
+	}
+	for _, mode := range []string{"record", "replay"} {
+		s.Trace = mode
+		if _, _, err := runScenario(ctx, s, nil, nil); err == nil {
+			t.Errorf("%s with nil store succeeded", mode)
+		}
+	}
+	s.Trace = "bogus"
+	if _, _, err := runScenario(ctx, s, openStore(t), nil); err == nil {
+		t.Error("unknown trace mode accepted")
+	}
+
+	s.Trace = "auto"
+	liveSum, done, err := runScenario(ctx, s, nil, nil)
+	if err != nil || !done {
+		t.Fatalf("auto with nil store: done=%v err=%v", done, err)
+	}
+
+	store := openStore(t)
+	rec0, rep0 := TraceRecordings(), TraceReplays()
+	first, done, err := runScenario(ctx, s, store, nil)
+	if err != nil || !done {
+		t.Fatalf("auto miss: done=%v err=%v", done, err)
+	}
+	if !store.HasTrace(TraceKey(s)) {
+		t.Fatal("auto miss did not record")
+	}
+	second, done, err := runScenario(ctx, s, store, nil)
+	if err != nil || !done {
+		t.Fatalf("auto hit: done=%v err=%v", done, err)
+	}
+	if d := TraceRecordings() - rec0; d != 1 {
+		t.Errorf("auto pair performed %d recordings, want 1", d)
+	}
+	if d := TraceReplays() - rep0; d != 1 {
+		t.Errorf("auto pair performed %d replays, want 1", d)
+	}
+	if first != liveSum || second != liveSum {
+		t.Errorf("auto summaries diverged from live:\n live  %+v\n miss  %+v\n hit   %+v", liveSum, first, second)
+	}
+}
+
+// TestTraceCorruptIsMiss pins the corruption contract end to end: a
+// damaged blob under a valid trace key must never replay. Auto mode falls
+// back to a live run (identical summary) and re-records a good blob;
+// explicit replay refuses.
+func TestTraceCorruptIsMiss(t *testing.T) {
+	store := openStore(t)
+	s := traceTestScenario(11)
+	key := TraceKey(s)
+
+	good, _, err := RecordTrace(context.Background(), s, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := good.Encode()[:20] // truncated mid-stream
+	if err := store.PutTrace(key, corrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Trace = "replay"
+	if _, _, err := runScenario(context.Background(), s, store, nil); err == nil {
+		t.Fatal("replay of a corrupt trace succeeded")
+	}
+
+	s.Trace = ""
+	liveSum, _, err := runScenario(context.Background(), s, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Trace = "auto"
+	sum, done, err := runScenario(context.Background(), s, store, nil)
+	if err != nil || !done {
+		t.Fatalf("auto over corrupt trace: done=%v err=%v", done, err)
+	}
+	if sum != liveSum {
+		t.Errorf("auto fallback diverged from live:\n live %+v\n auto %+v", liveSum, sum)
+	}
+	data, ok := store.GetTrace(key)
+	if !ok {
+		t.Fatal("auto fallback did not re-record")
+	}
+	if _, err := trace.DecodeScript(data); err != nil {
+		t.Errorf("re-recorded blob does not decode: %v", err)
+	}
+}
+
+// TestTraceKeyGrouping pins what the content address covers: protocol,
+// traffic and gossip parameters must not change the key (their cells
+// share a recorded world); world-defining fields and the seed must.
+// TraceGroup additionally zeroes the seed so a sweep's whole seed list
+// lands in one group.
+func TestTraceKeyGrouping(t *testing.T) {
+	base := traceTestScenario(1)
+	key := TraceKey(base)
+
+	same := base
+	same.Protocol = MaxProp
+	same.Lambda = 99
+	same.TTL = 123
+	same.BufBytes = 1 << 20
+	same.Gossip = "delta"
+	same.Shards = 4
+	if TraceKey(same) != key {
+		t.Error("routing/traffic/gossip fields perturbed the trace key")
+	}
+	for name, mut := range map[string]func(*Scenario){
+		"nodes":    func(s *Scenario) { s.Nodes++ },
+		"seed":     func(s *Scenario) { s.Seed++ },
+		"duration": func(s *Scenario) { s.Duration += 1 },
+		"range":    func(s *Scenario) { s.Range += 1 },
+		"mobility": func(s *Scenario) { s.Mobility = "rwp" },
+	} {
+		diff := base
+		mut(&diff)
+		if TraceKey(diff) == key {
+			t.Errorf("%s change did not change the trace key", name)
+		}
+	}
+
+	spA := ScenarioSpec{Nodes: ptr(40), Seeds: []int64{1}}
+	spB := ScenarioSpec{Nodes: ptr(40), Seeds: []int64{2}, Protocol: ptr(string(CR))}
+	gA, okA := TraceGroup(spA)
+	gB, okB := TraceGroup(spB)
+	if !okA || !okB || gA != gB {
+		t.Errorf("seed/protocol-only spec variants grouped apart: %q vs %q", gA, gB)
+	}
+}
+
+// TestSweepTraceFastPath is the sweep-level acceptance test: a
+// protocol-only sweep over a shared store must simulate mobility exactly
+// once per seed (the pre-recordings), serve every protocol cell by replay
+// — zero live per-protocol worlds — and return cell summaries
+// bit-identical to the same sweep run entirely live. Run under -race in
+// CI, the concurrent pre-record and replay stages must also be clean.
+func TestSweepTraceFastPath(t *testing.T) {
+	seeds := []int64{1, 2}
+	sw := SweepSpec{
+		Base: ScenarioSpec{
+			Nodes:    ptr(30),
+			Duration: ptr(400.0),
+			Tick:     ptr(0.5),
+			Seeds:    seeds,
+		},
+		Protocols: []string{string(SprayAndWait), string(EER), string(CR)},
+	}
+	live, err := RunSweep(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := openStore(t)
+	rec0, rep0 := TraceRecordings(), TraceReplays()
+	traced, err := RunSweep(context.Background(), sw, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := TraceRecordings() - rec0; d != int64(len(seeds)) {
+		t.Errorf("sweep recorded %d worlds, want %d (one per seed)", d, len(seeds))
+	}
+	if want := int64(len(sw.Protocols) * len(seeds)); TraceReplays()-rep0 != want {
+		t.Errorf("sweep replayed %d runs, want %d (every protocol cell)", TraceReplays()-rep0, want)
+	}
+	for i := range live {
+		if traced[i].Mean != live[i].Mean {
+			t.Errorf("cell %d (%v) mean diverged between live and traced sweeps", i, traced[i].Cell.Axes)
+		}
+		for j := range live[i].PerSeed {
+			if traced[i].PerSeed[j] != live[i].PerSeed[j] {
+				t.Errorf("cell %d seed %d summary diverged between live and traced sweeps", i, j)
+			}
+		}
+	}
+
+	// Resubmitting with a fresh result store but the same trace store must
+	// not simulate mobility at all: every cell replays the existing traces.
+	rec1, rep1 := TraceRecordings(), TraceReplays()
+	if _, err := RunSweep(context.Background(), sw, traceOnlyStore(t, store, sw)); err != nil {
+		t.Fatal(err)
+	}
+	if d := TraceRecordings() - rec1; d != 0 {
+		t.Errorf("fully pre-recorded resubmit recorded %d worlds, want 0", d)
+	}
+	if want := int64(len(sw.Protocols) * len(seeds)); TraceReplays()-rep1 != want {
+		t.Errorf("fully pre-recorded resubmit replayed %d runs, want %d", TraceReplays()-rep1, want)
+	}
+}
+
+// traceOnlyStore opens a second store carrying over the sweep's trace
+// blobs but none of its results — simulating a host that has traces
+// recorded but lost (or never had) the result cache.
+func traceOnlyStore(t testing.TB, src *resultcache.Store, sw SweepSpec) *resultcache.Store {
+	t.Helper()
+	dst := openStore(t)
+	cells, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied := 0
+	for _, c := range cells {
+		s, err := c.Spec.Scenario()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range c.Spec.SeedList() {
+			sc := s
+			sc.Seed = seed
+			key := TraceKey(sc)
+			if data, ok := src.GetTrace(key); ok {
+				if err := dst.PutTrace(key, data); err != nil {
+					t.Fatal(err)
+				}
+				copied++
+			}
+		}
+	}
+	if copied == 0 {
+		t.Fatal("no trace blobs to carry over")
+	}
+	return dst
+}
+
+// TestLoneCellStaysLive pins applyTracePlan's economics: a sweep whose
+// cells all live in different trace groups (a nodes axis) gains nothing
+// from recording first, so no cell is marked and nothing is pre-recorded.
+func TestLoneCellStaysLive(t *testing.T) {
+	sw := SweepSpec{
+		Base: ScenarioSpec{
+			Duration: ptr(400.0),
+			Tick:     ptr(0.5),
+			Seeds:    []int64{1},
+		},
+		Nodes: []int{20, 30},
+	}
+	specs := make([]ScenarioSpec, 0, 2)
+	cells, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		specs = append(specs, c.Spec)
+	}
+	recs := applyTracePlan(specs, openStore(t))
+	if len(recs) != 0 {
+		t.Errorf("nodes-axis sweep scheduled %d pre-recordings, want 0", len(recs))
+	}
+	for i, sp := range specs {
+		if sp.Trace != nil {
+			t.Errorf("cell %d marked %q, want untouched", i, *sp.Trace)
+		}
+	}
+}
+
+// BenchmarkReplayVsLive measures the fast path the tentpole promises on
+// the city preset: a replayed world (no mobility advance, no grid
+// maintenance, no pair sweeps) against the same world simulated live. CI's
+// bench-smoke job runs this at one iteration so the replay path cannot
+// silently rot.
+func BenchmarkReplayVsLive(b *testing.B) {
+	s := CityScale()
+	s.Duration = 60
+	s.Seed = 1
+	script, _, err := RecordTrace(context.Background(), s, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs := scriptEvents(script)
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, runner := s.Build()
+			runner.Run(s.Duration)
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, runner := s.BuildReplay(evs)
+			runner.Run(s.Duration)
+		}
+	})
+}

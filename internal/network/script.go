@@ -1,0 +1,98 @@
+package network
+
+// Scripted (trace-replay) worlds: instead of moving nodes and detecting
+// contacts geometrically, the world fires a pre-recorded contact event
+// script. Mobility advance, grid maintenance and pair sweeps are skipped
+// entirely — the per-tick cost reduces to the contacts that actually
+// happen — while transfers, buffers, routers, traffic and metrics run
+// through the exact same code as a live world. Because the script stores
+// events in engine firing order (downs before ups within a tick, ups in
+// ascending pair order), a replayed world is bit-identical to the
+// recording run for every quantity that does not read node positions.
+
+// ScriptEvent is one scripted contact transition: at world tick Tick the
+// contact between nodes A and B (A < B) comes up or goes down. Tick
+// indexes count from 1, matching World.TickCount during live runs.
+type ScriptEvent struct {
+	Tick uint64
+	Up   bool
+	A, B int32
+}
+
+// OnContact registers a contact observer fired on every contact
+// transition (up and down) from both the serial and sharded tick paths,
+// in the engine's deterministic firing order. Recorders use it to capture
+// a world's contact script.
+func (w *World) OnContact(f func(tick uint64, up bool, a, b int32)) {
+	w.onContact = append(w.onContact, f)
+}
+
+// TickCount returns the number of ticks the world has executed.
+func (w *World) TickCount() uint64 { return w.tickCount }
+
+// SetContactScript switches the world to scripted replay before Start:
+// ticks fire the given events (which must be tick-ordered, in engine
+// firing order) instead of advancing movers and detecting contacts. The
+// world's node count and tick interval must match the recording; the
+// caller guarantees that via the script's content address. Sharding is
+// forced off — a scripted tick is too cheap to split.
+func (w *World) SetContactScript(events []ScriptEvent) {
+	if w.started {
+		panic("network: SetContactScript after Start")
+	}
+	w.scripted = true
+	w.script = events
+	w.cfg.Shards = 0
+}
+
+// Scripted reports whether the world replays a contact script.
+func (w *World) Scripted() bool { return w.scripted }
+
+// tickScripted advances one scripted tick: fire the script's events for
+// this tick in recorded order, then run the usual expiry sweep cadence.
+// Positions are never read or written.
+func (w *World) tickScripted(t float64) {
+	w.lastTick = t
+	w.tickCount++
+	downs := false
+	for w.scriptPos < len(w.script) {
+		e := w.script[w.scriptPos]
+		if e.Tick > w.tickCount {
+			break
+		}
+		w.scriptPos++
+		if e.Up {
+			w.contactUp(w.nodes[e.A], w.nodes[e.B], t)
+			continue
+		}
+		// The live detector removes a downed link from linkList in its
+		// keep-sweep; here we mark it and compact once per tick below.
+		if l := w.nodes[e.A].linkTo(w.nodes[e.B]); l != nil {
+			w.contactDown(l, t)
+			l.gone = true
+			downs = true
+		}
+	}
+	if downs {
+		keep := w.linkList[:0]
+		for _, l := range w.linkList {
+			if !l.gone {
+				keep = append(keep, l)
+			}
+		}
+		w.linkList = keep
+	}
+	if w.tickCount%uint64(w.cfg.ExpirySweepEvery) == 0 {
+		w.sweepExpired(t)
+	}
+}
+
+// linkTo returns the node's active link to peer, or nil.
+func (n *Node) linkTo(peer *Node) *Link {
+	for _, l := range n.links {
+		if l.other(n) == peer {
+			return l
+		}
+	}
+	return nil
+}

@@ -76,6 +76,14 @@ type World struct {
 
 	// onDeliver hooks observe deliveries (tests, per-message ledgers).
 	onDeliver []func(t float64, m *msg.Message, hops int)
+	// onContact hooks observe every contact transition (trace recording).
+	onContact []func(tick uint64, up bool, a, b int32)
+
+	// Scripted replay state (script.go): when scripted, ticks fire the
+	// recorded contact events instead of moving nodes.
+	scripted  bool
+	script    []ScriptEvent
+	scriptPos int
 }
 
 // New returns an empty world driven by runner.
@@ -153,8 +161,11 @@ func (w *World) Start() {
 		panic("network: Start called twice")
 	}
 	w.started = true
-	w.grid.ensure(len(w.nodes))
-	w.sched.init(len(w.nodes))
+	if !w.scripted {
+		// A scripted world never touches the detector: skip its O(n) state.
+		w.grid.ensure(len(w.nodes))
+		w.sched.init(len(w.nodes))
+	}
 	for _, n := range w.nodes {
 		n.Router.Init(n, w)
 	}
@@ -196,6 +207,10 @@ func (w *World) wake(n *Node, t float64) {
 // expired messages. With Config.Shards > 0 the data-parallel parts run on
 // shard goroutines (shard.go); results are bit-identical either way.
 func (w *World) Tick(t float64) {
+	if w.scripted {
+		w.tickScripted(t)
+		return
+	}
 	if w.cfg.Shards > 0 {
 		w.tickSharded(t)
 		return
@@ -346,6 +361,9 @@ func (w *World) recheckDelay(d2 float64) uint64 {
 }
 
 func (w *World) contactUp(a, b *Node, t float64) {
+	for _, f := range w.onContact {
+		f(w.tickCount, true, int32(a.ID), int32(b.ID))
+	}
 	w.Metrics.ContactStarted()
 	l := &Link{a: a, b: b, since: t}
 	w.linkList = append(w.linkList, l)
@@ -357,6 +375,9 @@ func (w *World) contactUp(a, b *Node, t float64) {
 }
 
 func (w *World) contactDown(l *Link, t float64) {
+	for _, f := range w.onContact {
+		f(w.tickCount, false, int32(l.a.ID), int32(l.b.ID))
+	}
 	l.abort(w)
 	l.a.removeLink(l)
 	l.b.removeLink(l)

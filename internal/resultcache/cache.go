@@ -62,6 +62,13 @@ type Store struct {
 	scans        atomic.Int64
 	evictions    atomic.Int64
 	evictedBytes atomic.Int64
+
+	// Trace-blob counters are kept apart from result counters: the
+	// daemon's submissions == hits + misses invariant reconciles result
+	// reads only, and a trace probe must not perturb it.
+	traceHits   atomic.Int64
+	traceMisses atomic.Int64
+	tracePuts   atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the store's counters. CurBytes is
@@ -75,6 +82,10 @@ type Stats struct {
 	Evictions    int64 // entries removed by eviction
 	EvictedBytes int64 // bytes reclaimed by eviction
 	CurBytes     int64 // approximate store size (bounded stores only)
+
+	TraceHits   int64 // GetTrace served a recorded contact script
+	TraceMisses int64 // GetTrace found nothing
+	TracePuts   int64 // contact scripts persisted
 }
 
 // Stats returns the store's counters. A nil store reports zeros.
@@ -93,6 +104,9 @@ func (st *Store) Stats() Stats {
 		Evictions:    st.evictions.Load(),
 		EvictedBytes: st.evictedBytes.Load(),
 		CurBytes:     cur,
+		TraceHits:    st.traceHits.Load(),
+		TraceMisses:  st.traceMisses.Load(),
+		TracePuts:    st.tracePuts.Load(),
 	}
 }
 
@@ -139,26 +153,40 @@ func ValidKey(key string) bool {
 // unbounded store never evicts, so it skips the per-hit Chtimes syscall
 // — LRU order is meaningless there and the touch was pure latency.
 func (st *Store) Get(key string) (*Result, bool) {
+	res, _, ok := st.GetRaw(key)
+	return res, ok
+}
+
+// GetRaw is Get returning the encoded file bytes alongside the parsed
+// result, so a serving path that only splices the JSON onward (the
+// daemon's cache-hit fast path) never re-encodes it.
+func (st *Store) GetRaw(key string) (*Result, []byte, bool) {
 	path := st.path(key)
 	if path == "" {
-		return nil, false
+		return nil, nil, false
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		st.misses.Add(1)
-		return nil, false
+		return nil, nil, false
 	}
 	var res Result
 	if json.Unmarshal(data, &res) != nil || res.Key != key {
 		st.misses.Add(1)
-		return nil, false // corrupt entry: treat as a miss, recompute
+		return nil, nil, false // corrupt entry: treat as a miss, recompute
 	}
+	st.touch(path)
+	st.hits.Add(1)
+	return &res, data, true
+}
+
+// touch refreshes an entry's mtime on bounded stores, keeping entries a
+// repeated sweep reuses at the young end of the eviction order.
+func (st *Store) touch(path string) {
 	if st.maxBytes > 0 {
 		now := time.Now()
 		os.Chtimes(path, now, now) // best-effort LRU touch
 	}
-	st.hits.Add(1)
-	return &res, true
 }
 
 // Put persists a result atomically (temp file + rename, so a crashed
@@ -169,18 +197,28 @@ func (st *Store) Put(res *Result) error {
 	if path == "" {
 		return nil
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
+		return err
+	}
+	if err := st.writeEntry(path, append(data, '\n')); err != nil {
+		return err
+	}
+	st.puts.Add(1)
+	return nil
+}
+
+// writeEntry persists one store file atomically (temp + rename) and
+// enforces the size bound — the shared tail of Put and PutTrace.
+func (st *Store) writeEntry(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -204,10 +242,9 @@ func (st *Store) Put(res *Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	st.puts.Add(1)
 	if st.maxBytes > 0 {
 		st.mu.Lock()
-		st.curBytes += int64(len(data)) + 1 - oldSize
+		st.curBytes += int64(len(data)) - oldSize
 		// Scan and evict only when the (approximate) total crosses the
 		// bound — steady-state Puts under it never walk the directory.
 		if !st.scanned || st.curBytes > st.maxBytes {
@@ -215,6 +252,59 @@ func (st *Store) Put(res *Result) error {
 		}
 		st.mu.Unlock()
 	}
+	return nil
+}
+
+// tracePath maps a trace content address to its blob file. Traces share
+// the store's directory fan-out and size bound with results (eviction
+// walks both), under a distinct extension.
+func (st *Store) tracePath(key string) string {
+	if st == nil || !ValidKey(key) {
+		return ""
+	}
+	return filepath.Join(st.dir, key[:2], key+".trace")
+}
+
+// GetTrace returns the recorded contact-script blob for key, if present.
+// The caller decodes it; a decode failure there is handled exactly like a
+// miss here (re-record), so a torn blob can never poison a replay.
+func (st *Store) GetTrace(key string) ([]byte, bool) {
+	path := st.tracePath(key)
+	if path == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		st.traceMisses.Add(1)
+		return nil, false
+	}
+	st.touch(path)
+	st.traceHits.Add(1)
+	return data, true
+}
+
+// HasTrace reports whether a trace blob exists for key, without counting
+// a hit or miss — a planning probe, not a read.
+func (st *Store) HasTrace(key string) bool {
+	path := st.tracePath(key)
+	if path == "" {
+		return false
+	}
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// PutTrace persists a recorded contact-script blob atomically. A nil
+// store discards silently.
+func (st *Store) PutTrace(key string, data []byte) error {
+	path := st.tracePath(key)
+	if path == "" {
+		return nil
+	}
+	if err := st.writeEntry(path, data); err != nil {
+		return err
+	}
+	st.tracePuts.Add(1)
 	return nil
 }
 

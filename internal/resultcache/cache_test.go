@@ -365,3 +365,109 @@ func TestPutNeverEvictsItself(t *testing.T) {
 		t.Error("new entry evicted by its own Put")
 	}
 }
+
+// traceBlobOf derives a distinct blob per index (content is opaque to the
+// store; decoding lives a layer up).
+func traceBlobOf(i int) []byte {
+	return []byte(fmt.Sprintf("DTNTRC-test-blob-%d", i))
+}
+
+// TestTraceRoundTrip pins the trace blob surface: Put → Has → Get returns
+// the bytes verbatim, misses are misses, and nil stores stay inert.
+func TestTraceRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf(1)
+	if st.HasTrace(key) {
+		t.Fatal("fresh store has a trace")
+	}
+	if _, ok := st.GetTrace(key); ok {
+		t.Fatal("fresh store returned a trace")
+	}
+	if err := st.PutTrace(key, traceBlobOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasTrace(key) {
+		t.Fatal("HasTrace false after Put")
+	}
+	got, ok := st.GetTrace(key)
+	if !ok || string(got) != string(traceBlobOf(1)) {
+		t.Fatalf("GetTrace = %q, %v", got, ok)
+	}
+	// Overwrite wins: auto-mode re-records over a corrupt blob.
+	if err := st.PutTrace(key, traceBlobOf(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.GetTrace(key); string(got) != string(traceBlobOf(2)) {
+		t.Fatalf("after overwrite GetTrace = %q", got)
+	}
+
+	if err := st.PutTrace("not a key", traceBlobOf(3)); err != nil {
+		t.Error("invalid trace key errored instead of discarding")
+	}
+	if st.HasTrace("not a key") {
+		t.Error("invalid key stored")
+	}
+	var nilStore *Store
+	if err := nilStore.PutTrace(key, traceBlobOf(1)); err != nil {
+		t.Error("nil store PutTrace errored")
+	}
+	if _, ok := nilStore.GetTrace(key); ok {
+		t.Error("nil store GetTrace hit")
+	}
+	if nilStore.HasTrace(key) {
+		t.Error("nil store HasTrace true")
+	}
+}
+
+// TestTraceStatsCounters pins the separate trace counter family: trace
+// reads never perturb the result hit/miss counters the daemon's
+// submissions invariant is built on, and HasTrace counts nothing.
+func TestTraceStatsCounters(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf(4)
+	st.GetTrace(key)                 // miss
+	st.PutTrace(key, traceBlobOf(4)) // put
+	st.HasTrace(key)                 // neither
+	st.GetTrace(key)                 // hit
+	got := st.Stats()
+	if got.TraceHits != 1 || got.TraceMisses != 1 || got.TracePuts != 1 {
+		t.Errorf("trace counters = %d/%d/%d hits/misses/puts, want 1/1/1", got.TraceHits, got.TraceMisses, got.TracePuts)
+	}
+	if got.Hits != 0 || got.Misses != 0 || got.Puts != 0 {
+		t.Errorf("trace traffic leaked into result counters: %+v", got)
+	}
+}
+
+// TestTraceEvictionShared pins that trace blobs live under the store's
+// byte bound with results: writing many traces into a small store evicts
+// the oldest, and the bound holds over the union of both entry kinds.
+func TestTraceEvictionShared(t *testing.T) {
+	blob := make([]byte, 1024)
+	st, err := Open(t.TempDir(), 4*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := st.PutTrace(keyOf(i), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	survivors := 0
+	for i := 0; i < 12; i++ {
+		if st.HasTrace(keyOf(i)) {
+			survivors++
+		}
+	}
+	if survivors == 12 {
+		t.Fatal("no trace blob evicted from an over-full store")
+	}
+	if !st.HasTrace(keyOf(11)) {
+		t.Error("most recent trace evicted")
+	}
+}

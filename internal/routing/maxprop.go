@@ -213,8 +213,8 @@ func (r *MaxProp) contactUpDense(t float64, peer *network.Node, pr *MaxProp) {
 	switch r.Gossip {
 	case core.ExchangeDelta:
 		aSeen, bSeen = r.seen[peer.ID], pr.seen[self]
-		st.AddDigest(r.advertisedCount(aSeen))
-		st.AddDigest(pr.advertisedCount(bSeen))
+		st.AddDigest(r.advertised(aSeen))
+		st.AddDigest(pr.advertised(bSeen))
 	case core.ExchangeFlood:
 		st.Add(r.floodVolume())
 		st.Add(pr.floodVolume())
@@ -262,16 +262,17 @@ func (r *MaxProp) contactUpDense(t float64, peer *network.Node, pr *MaxProp) {
 	r.World.Metrics.EstimatorExchanged(st.Rows, st.Entries, st.Bytes, st.DigestBytes)
 }
 
-// advertisedCount counts the published rows mutated past the watermark —
-// the dense delta digest to one peer.
-func (r *MaxProp) advertisedCount(seen uint64) int {
-	n := 0
+// advertised counts and sizes the published rows mutated past the
+// watermark — the dense delta digest to one peer, each row costing a
+// varint (owner, stamp) entry.
+func (r *MaxProp) advertised(seen uint64) (rows, payloadBytes int) {
 	for i, u := range r.updated {
 		if u >= 0 && r.rowVer[i] > seen {
-			n++
+			rows++
+			payloadBytes += core.DigestEntryLen(i, u)
 		}
 	}
-	return n
+	return rows, payloadBytes
 }
 
 // floodVolume is the cost of transmitting every published probability row.

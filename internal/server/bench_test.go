@@ -8,6 +8,7 @@ package server
 // clients are doing.
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -28,7 +29,12 @@ func benchServer(b *testing.B) (*Server, *job) {
 		b.Fatal(err)
 	}
 	j, spec := fabricateJob(b, s, testSpec)
-	j.finish(&Result{Key: j.key, Seeds: spec.SeedList(), PerSeed: []metrics.Summary{{Generated: 1}, {Generated: 2}}, Mean: metrics.Summary{Generated: 1}})
+	res := &Result{Key: j.key, Seeds: spec.SeedList(), PerSeed: []metrics.Summary{{Generated: 1}, {Generated: 2}}, Mean: metrics.Summary{Generated: 1}}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	j.finish(res, raw)
 	return s, j
 }
 
@@ -53,6 +59,41 @@ func BenchmarkStatusHandler(b *testing.B) {
 // terminal in-flight snapshot — the cached fast path under load.
 func BenchmarkSubmitCachedHit(b *testing.B) {
 	s, _ := benchServer(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(testSpec))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+}
+
+// BenchmarkSubmitHit measures POST /v1/jobs answered from the on-disk
+// content-addressed store — the common fast path of a warm daemon. The
+// reply splices the store file's encoded bytes into the envelope; before
+// the encoded-result fast path every hit re-marshalled the full per-seed
+// summary table.
+func BenchmarkSubmitHit(b *testing.B) {
+	s, err := New(Config{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := experiment.ParseSpec([]byte(testSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, err := spec.CacheKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := &Result{Key: key, Seeds: spec.SeedList(), PerSeed: make([]metrics.Summary, len(spec.SeedList()))}
+	if err := s.store.Put(res); err != nil {
+		b.Fatal(err)
+	}
 	h := s.Handler()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/experiment"
 	"repro/internal/resultcache"
 )
 
@@ -102,6 +103,24 @@ func (s *Server) metricDefs() []metricDef {
 	stat := func(name, help, typ string, v func(resultcache.Stats) int64) metricDef {
 		return metricDef{name: name, help: help, typ: typ, value: func() float64 { return float64(v(s.store.Stats())) }}
 	}
+	defs = append(defs,
+		// Contact-trace fast path: how often sweep cells replayed a
+		// recorded world instead of re-simulating mobility, and the
+		// store's trace-blob traffic. Recording/replay counts are
+		// process-wide (experiment-layer atomics); blob counters are
+		// kept apart from result counters so the submissions == hits +
+		// misses invariant above stays exact.
+		metricDef{name: "dtnd_trace_recordings_total", help: "Contact-trace recordings performed (live runs doubling as recordings, or bare pre-records).", typ: "counter",
+			value: func() float64 { return float64(experiment.TraceRecordings()) }},
+		metricDef{name: "dtnd_trace_replays_total", help: "Simulation runs served by contact replay instead of live mobility.", typ: "counter",
+			value: func() float64 { return float64(experiment.TraceReplays()) }},
+		stat("dtnd_trace_cache_hits_total", "Trace-store reads that found a recorded contact script.", "counter",
+			func(st resultcache.Stats) int64 { return st.TraceHits }),
+		stat("dtnd_trace_cache_misses_total", "Trace-store reads that found nothing.", "counter",
+			func(st resultcache.Stats) int64 { return st.TraceMisses }),
+		stat("dtnd_trace_cache_puts_total", "Contact scripts persisted to the store.", "counter",
+			func(st resultcache.Stats) int64 { return st.TracePuts }),
+	)
 	defs = append(defs,
 		stat("dtnd_cache_hits_total", "Result-store reads that found an intact entry (submits, sweep cells, /v1/results).", "counter",
 			func(st resultcache.Stats) int64 { return st.Hits }),

@@ -27,6 +27,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -108,8 +109,12 @@ type job struct {
 	events []metrics.Progress
 	notify chan struct{}
 	result *Result
-	errMsg string
-	subs   []func(metrics.Progress)
+	// resultJSON is the result encoded once at completion, so the submit
+	// fast paths (disk hit, coalesce onto a done job) splice bytes instead
+	// of re-marshalling the full per-seed summary table per request.
+	resultJSON []byte
+	errMsg     string
+	subs       []func(metrics.Progress)
 }
 
 // Result is the persisted outcome of a job — the value the content
@@ -240,10 +245,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// must carry one summary per requested seed: a stale entry written
 	// for a different seed list under an old spec version (or tampered on
 	// disk) is a miss and recomputes, the same guard both sweep cache
-	// passes apply.
-	if res, ok := s.store.Get(key); ok && len(res.PerSeed) == len(spec.SeedList()) {
+	// passes apply. The reply splices the store's encoded bytes verbatim
+	// — a hit costs one file read, zero JSON marshalling.
+	if res, raw, ok := s.store.GetRaw(key); ok && len(res.PerSeed) == len(spec.SeedList()) {
 		s.m.submitHits.Add(1)
-		writeJSON(w, http.StatusOK, submitResponse{Key: key, Status: string(stateDone), Cached: true, Result: res})
+		writeCachedResult(w, "", key, raw)
 		return
 	}
 
@@ -275,7 +281,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case snap.state == stateDone && snap.result != nil:
 			s.mu.Unlock()
 			s.m.submitHits.Add(1)
-			writeJSON(w, http.StatusOK, submitResponse{JobID: j.id, Key: key, Status: string(stateDone), Cached: true, Result: snap.result})
+			if snap.resultJSON != nil {
+				writeCachedResult(w, j.id, key, snap.resultJSON)
+			} else {
+				writeJSON(w, http.StatusOK, submitResponse{JobID: j.id, Key: key, Status: string(stateDone), Cached: true, Result: snap.result})
+			}
 			return
 		}
 		// failed (or done with a nil result, which cannot happen): fall
@@ -376,7 +386,11 @@ func (s *Server) runJob(j *job) {
 		}
 		j.publish(p)
 	}
-	sums, err := experiment.RunSpecContext(j.ctx, j.spec, progress)
+	// The store-threaded run path enables the spec's trace mode: with a
+	// store attached, sweep cells marked "auto" replay their shared
+	// recorded world instead of re-simulating mobility (see
+	// experiment.RunSpecStore); without one, every seed runs live.
+	sums, err := experiment.RunSpecStore(j.ctx, j.spec, s.store, progress)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			j.cancelled()
@@ -395,7 +409,14 @@ func (s *Server) runJob(j *job) {
 		j.fail(fmt.Errorf("persist result: %w", err))
 		return
 	}
-	j.finish(res)
+	// Encode once at completion; every later cache-hit serve of this job's
+	// snapshot splices these bytes instead of re-marshalling.
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	j.finish(res, raw)
 }
 
 // jobResponse is the GET /v1/jobs/{id} reply.
@@ -511,11 +532,35 @@ func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, snapshot func()
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	if res, ok := s.store.Get(key); ok {
-		writeJSON(w, http.StatusOK, res)
+	if _, raw, ok := s.store.GetRaw(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw) // the store file is the reply: already indented JSON
 		return
 	}
 	writeErr(w, http.StatusNotFound, fmt.Errorf("no cached result for %s", key))
+}
+
+// writeCachedResult writes the submit fast-path reply — submitResponse
+// with cached=true — by splicing the result's pre-encoded bytes (a store
+// file or a done job's one-time encoding) into a hand-built envelope, so
+// a cache hit never re-marshals the per-seed summary table. Field order
+// and formatting mirror writeJSON's encoding of submitResponse.
+func writeCachedResult(w http.ResponseWriter, jobID, key string, raw []byte) {
+	var b bytes.Buffer
+	b.WriteString("{\n")
+	if jobID != "" {
+		fmt.Fprintf(&b, "  %q: %q,\n", "job_id", jobID)
+	}
+	fmt.Fprintf(&b, "  %q: %q,\n", "key", key)
+	fmt.Fprintf(&b, "  %q: %q,\n", "status", string(stateDone))
+	fmt.Fprintf(&b, "  %q: true,\n", "cached")
+	fmt.Fprintf(&b, "  %q: ", "result")
+	b.Write(bytes.TrimRight(raw, "\n"))
+	b.WriteString("\n}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b.Bytes())
 }
 
 func (s *Server) handlePresets(w http.ResponseWriter, _ *http.Request) {
@@ -529,11 +574,12 @@ const maxRetainedJobs = 512
 // needs, read under one lock acquisition so replies can never tear (e.g.
 // "running" with a non-nil result).
 type jobSnap struct {
-	state  jobState
-	events []metrics.Progress
-	result *Result
-	errMsg string
-	notify chan struct{}
+	state      jobState
+	events     []metrics.Progress
+	result     *Result
+	resultJSON []byte
+	errMsg     string
+	notify     chan struct{}
 }
 
 // snapshot returns the job's state, progress history, result, error and
@@ -541,7 +587,7 @@ type jobSnap struct {
 func (j *job) snapshot() jobSnap {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobSnap{state: j.state, events: j.events, result: j.result, errMsg: j.errMsg, notify: j.notify}
+	return jobSnap{state: j.state, events: j.events, result: j.result, resultJSON: j.resultJSON, errMsg: j.errMsg, notify: j.notify}
 }
 
 func (j *job) setState(st jobState) {
@@ -582,7 +628,7 @@ func (j *job) appendProgress(p metrics.Progress) { j.publish(p) }
 // terminal moves the job to a final state and publishes the terminal
 // progress event. The event carries the last observed completion fraction
 // — a job that dies at 90% reports 90%, not 0 — or 1 on success.
-func (j *job) terminal(st jobState, res *Result, errMsg string) {
+func (j *job) terminal(st jobState, res *Result, raw []byte, errMsg string) {
 	j.mu.Lock()
 	p := metrics.Progress{Done: true, Error: errMsg}
 	if n := len(j.events); n > 0 {
@@ -597,6 +643,7 @@ func (j *job) terminal(st jobState, res *Result, errMsg string) {
 	}
 	j.state = st
 	j.result = res
+	j.resultJSON = raw
 	j.errMsg = errMsg
 	j.events = append(j.events, p)
 	close(j.notify)
@@ -611,14 +658,15 @@ func (j *job) terminal(st jobState, res *Result, errMsg string) {
 	}
 }
 
-// finish publishes the result and the terminal progress event.
-func (j *job) finish(res *Result) { j.terminal(stateDone, res, "") }
+// finish publishes the result (and its one-time encoding) and the
+// terminal progress event.
+func (j *job) finish(res *Result, raw []byte) { j.terminal(stateDone, res, raw, "") }
 
 // fail publishes the error and the terminal progress event.
-func (j *job) fail(err error) { j.terminal(stateFailed, nil, err.Error()) }
+func (j *job) fail(err error) { j.terminal(stateFailed, nil, nil, err.Error()) }
 
 // cancelled publishes the cancellation terminal event.
-func (j *job) cancelled() { j.terminal(stateCancelled, nil, "cancelled") }
+func (j *job) cancelled() { j.terminal(stateCancelled, nil, nil, "cancelled") }
 
 // writeJSON writes one JSON reply. The returned error reports a failed or
 // short write (client gone); callers that would otherwise keep writing or

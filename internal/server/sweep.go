@@ -312,6 +312,47 @@ func sweepStatus(sw *sweepJob, offset, limit int) sweepResponse {
 	return resp
 }
 
+// markTraceGroups enables the contact-trace fast path for a sweep's
+// uncached cells: cells sharing a recorded world (protocol/routing-only
+// axes — same experiment.TraceGroup) with at least two distinct content
+// addresses are marked Trace="auto", so the first cell's live run
+// doubles as the world recording and every later cell replays the
+// script instead of re-simulating mobility (jobs run sequentially under
+// the default one-permit semaphore). Trace never enters the cache key,
+// so marking after expansion changes no cell's address. Cells whose
+// spec sets trace explicitly keep the user's choice; with caching
+// disabled there is nowhere to store a script and nothing is marked.
+func (s *Server) markTraceGroups(refs []sweepCellRef) {
+	if s.store == nil {
+		return
+	}
+	groups := map[string][]int{}
+	keys := map[string]map[string]bool{} // group -> distinct cell cache keys
+	for i := range refs {
+		if refs[i].cached != nil || refs[i].cell.Spec.Trace != nil {
+			continue
+		}
+		g, ok := experiment.TraceGroup(refs[i].cell.Spec)
+		if !ok {
+			continue
+		}
+		groups[g] = append(groups[g], i)
+		if keys[g] == nil {
+			keys[g] = map[string]bool{}
+		}
+		keys[g][refs[i].cell.Key] = true
+	}
+	auto := "auto"
+	for g, idxs := range groups {
+		if len(keys[g]) < 2 {
+			continue // a lone (or fully duplicate) cell gains nothing
+		}
+		for _, i := range idxs {
+			refs[i].cell.Spec.Trace = &auto
+		}
+	}
+}
+
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
 	if err != nil {
@@ -341,6 +382,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 			allCached = false
 		}
 	}
+	s.markTraceGroups(refs)
 
 	s.mu.Lock()
 	// A fully-cached sweep needs no simulation and no queue slot, so —

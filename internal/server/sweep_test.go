@@ -4,11 +4,14 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/experiment"
 )
 
 // testSweep expands to 2 alpha cells over the same base as testSpec with
@@ -483,5 +486,65 @@ func TestSweepCachedServedWhileDraining(t *testing.T) {
 		"alpha": [0.9]
 	}`); code != http.StatusServiceUnavailable {
 		t.Errorf("uncached sweep during drain: status %d, want 503", code)
+	}
+}
+
+// TestSweepTraceReplay pins the daemon's trace fast path: a sweep whose
+// axes differ only in protocol shares one recorded world per seed, so the
+// first cell's job records the contact script during its live run and
+// every later cell replays it instead of re-simulating mobility. Both
+// cells still run as jobs (Simulated counts them; gossip and exchange
+// metering stay per-protocol honest) — only the world advance is shared.
+func TestSweepTraceReplay(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	rec0, rep0 := experiment.TraceRecordings(), experiment.TraceReplays()
+
+	sub, code := postSweep(t, ts, `{
+		"base": {"preset": "quick", "nodes": 16, "duration": 400, "seeds": [1]},
+		"protocols": ["EER", "SprayAndWait"]
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %+v", code, sub)
+	}
+	table := waitSweepState(t, ts, sub.SweepID, stateDone)
+	if table.CellsDone != 2 {
+		t.Fatalf("table %+v", table)
+	}
+	if got := s.Simulated(); got != 2 {
+		t.Errorf("Simulated = %d, want 2 (every protocol cell is an honest job)", got)
+	}
+	if d := experiment.TraceRecordings() - rec0; d != 1 {
+		t.Errorf("sweep recorded %d worlds, want 1 (mobility simulated once)", d)
+	}
+	if d := experiment.TraceReplays() - rep0; d != 1 {
+		t.Errorf("sweep replayed %d runs, want 1 (second protocol cell)", d)
+	}
+
+	// The counters surface on /metrics for ops dashboards and CI smoke.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, name := range []string{"dtnd_trace_recordings_total", "dtnd_trace_replays_total", "dtnd_trace_cache_puts_total"} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	// A single-spec job over the same world replays the sweep's trace: the
+	// daemon marks nothing (lone cell), but an explicit trace=replay spec
+	// is honoured end to end.
+	sub2, code := postSpec(t, ts, `{"preset": "quick", "protocol": "CR", "nodes": 16, "duration": 400, "seeds": [1], "trace": "replay"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("replay job submit status %d: %+v", code, sub2)
+	}
+	jr := waitState(t, ts, sub2.JobID, stateDone)
+	if jr.Status != string(stateDone) {
+		t.Fatalf("replay job %+v", jr)
+	}
+	if d := experiment.TraceReplays() - rep0; d != 2 {
+		t.Errorf("explicit replay job did not replay (replays delta %d, want 2)", d)
 	}
 }

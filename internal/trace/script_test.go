@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleScript() *Script {
+	return &Script{N: 40, Events: []Event{
+		{Tick: 3, Up: true, A: 0, B: 7},
+		{Tick: 3, Up: true, A: 2, B: 39},
+		{Tick: 19, Up: false, A: 0, B: 7},
+		{Tick: 200, Up: true, A: 11, B: 12},
+		{Tick: 100000, Up: false, A: 11, B: 12},
+	}}
+}
+
+// TestScriptRoundTrip pins encode → decode as the identity, including the
+// empty script.
+func TestScriptRoundTrip(t *testing.T) {
+	for _, s := range []*Script{sampleScript(), {N: 5}} {
+		got, err := DecodeScript(s.Encode())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.N != s.N || len(got.Events) != len(s.Events) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", got, s)
+		}
+		for i := range s.Events {
+			if got.Events[i] != s.Events[i] {
+				t.Errorf("event %d: got %+v want %+v", i, got.Events[i], s.Events[i])
+			}
+		}
+	}
+}
+
+// TestScriptEncodeDeterministic pins that identical scripts encode to
+// identical bytes — the property content addressing rests on.
+func TestScriptEncodeDeterministic(t *testing.T) {
+	if !bytes.Equal(sampleScript().Encode(), sampleScript().Encode()) {
+		t.Fatal("two encodings of the same script differ")
+	}
+}
+
+// TestScriptDecodeCorrupt feeds every class of damage the wire contract
+// names — truncation at each region, bad magic, bad flag, bad pair,
+// trailing bytes — and requires a decode error for each. Callers map any
+// error to a cache miss, so these are the lines that keep a torn blob
+// from replaying garbage.
+func TestScriptDecodeCorrupt(t *testing.T) {
+	good := sampleScript().Encode()
+	cases := map[string][]byte{
+		"empty":            {},
+		"short magic":      good[:4],
+		"bad magic":        append([]byte("DTNTRC9\n"), good[8:]...),
+		"no header":        good[:8],
+		"truncated events": good[:len(good)-3],
+		"trailing bytes":   append(append([]byte{}, good...), 0),
+	}
+	// Flip the first event's flag byte (offset: 8 magic + 1 n + 1 count +
+	// 1 dtick for this sample) to an unknown value.
+	badFlag := append([]byte{}, good...)
+	badFlag[11] = 7
+	cases["bad flag"] = badFlag
+	// A pair with a >= b: encode by hand.
+	badPair := (&Script{N: 10, Events: []Event{{Tick: 1, Up: true, A: 5, B: 5}}}).Encode()
+	cases["pair a==b"] = badPair
+	outOfRange := (&Script{N: 10, Events: []Event{{Tick: 1, Up: true, A: 5, B: 10}}}).Encode()
+	cases["pair b==n"] = outOfRange
+
+	for name, data := range cases {
+		if _, err := DecodeScript(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if _, err := DecodeScript(good); err != nil {
+		t.Fatalf("control: good blob failed to decode: %v", err)
+	}
+}
+
+// TestScriptEpisodes pins the Script → Trace conversion: paired up/down
+// events become closed episodes, unpaired ups close at end.
+func TestScriptEpisodes(t *testing.T) {
+	s := &Script{N: 4, Events: []Event{
+		{Tick: 2, Up: true, A: 0, B: 1},
+		{Tick: 6, Up: false, A: 0, B: 1},
+		{Tick: 8, Up: true, A: 2, B: 3}, // never closed
+	}}
+	tr := s.Episodes(0.5, 10)
+	if len(tr.Contacts) != 2 {
+		t.Fatalf("got %d episodes, want 2", len(tr.Contacts))
+	}
+	tr.Sort()
+	if c := tr.Contacts[0]; c.Start != 1 || c.End != 3 || c.A != 0 || c.B != 1 {
+		t.Errorf("episode 0 = %+v, want {1 3 0 1}", c)
+	}
+	if c := tr.Contacts[1]; c.Start != 4 || c.End != 10 {
+		t.Errorf("open episode closed at %g-%g, want 4-10", c.Start, c.End)
+	}
+}
