@@ -8,8 +8,14 @@
 //	dtnd -addr :8080 -cache dtnd-cache &
 //	curl -s localhost:8080/v1/jobs -d '{"preset":"quick","protocol":"EER","seeds":[1,2]}'
 //	curl -sN localhost:8080/v1/jobs/j1/stream     # live NDJSON progress
-//	curl -s localhost:8080/v1/jobs/j1             # status + result
+//	curl -s localhost:8080/v1/jobs/j1             # status + result + engine phase timing
 //	curl -s localhost:8080/metrics                # Prometheus text metrics
+//
+// Logs are structured (log/slog, logfmt-style text on stderr): every job
+// and sweep lifecycle line carries its job/sweep id and cache key, so
+// `grep job=j42` reconstructs one job's history. -log-level debug adds
+// cache-hit and coalesce lines; -pprof mounts /debug/pprof/* for CPU and
+// heap profiles (off by default).
 //
 // cmd/dtnload load-tests a running daemon and reports req/s + latency
 // percentiles per response class.
@@ -22,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,8 +43,17 @@ func main() {
 		cacheMax = flag.Int64("cache-max-bytes", 0, "result cache size bound; oldest-mtime entries evicted past it (0 = unbounded)")
 		jobs     = flag.Int("jobs", 1, "jobs simulating concurrently (each job already fills all cores)")
 		queue    = flag.Int("queue", 64, "max accepted-but-unfinished jobs")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		pprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/* (off by default: profiles expose internals)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "dtnd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -47,15 +63,25 @@ func main() {
 		// process instead of being swallowed mid-drain.
 		<-ctx.Done()
 		stop()
-		fmt.Fprintln(os.Stderr, "dtnd: draining (signal again to force exit)")
+		logger.Info("signal received, draining (signal again to force exit)")
 	}()
 
-	cfg := server.Config{CacheDir: *cache, MaxCacheBytes: *cacheMax, MaxConcurrentJobs: *jobs, MaxQueuedJobs: *queue}
+	cfg := server.Config{
+		CacheDir:          *cache,
+		MaxCacheBytes:     *cacheMax,
+		MaxConcurrentJobs: *jobs,
+		MaxQueuedJobs:     *queue,
+		Logger:            logger,
+		EnablePprof:       *pprof,
+	}
 	err := server.ListenAndServe(ctx, *addr, cfg, func(bound string) {
+		// Stdout line is the port-discovery contract for scripts
+		// (CI smoke parses it); the slog "listening" line is the
+		// machine-readable sibling on stderr.
 		fmt.Printf("dtnd listening on %s (cache %q)\n", bound, *cache)
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dtnd:", err)
+		logger.Error("dtnd exiting", "err", err)
 		os.Exit(1)
 	}
 }

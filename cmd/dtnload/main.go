@@ -69,6 +69,12 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Print(rep.String())
+	// Server-side cross-check: the daemon's own /metrics latency
+	// histograms next to the client-side percentiles above. Best effort —
+	// an old daemon without the histogram families just skips the block.
+	if sl, err := loadgen.FetchServerLatency(context.Background(), nil, *url); err == nil && len(sl.Classes) > 0 {
+		fmt.Print(sl.String())
+	}
 	if len(rep.Violations) > 0 {
 		os.Exit(1)
 	}

@@ -39,6 +39,7 @@ func main() {
 		gossip   = flag.String("gossip", "", "estimator exchange metering for EER/CR/MaxProp: fresher (default), flood or delta (summaries identical except gossip volume)")
 		city     = flag.Bool("city", false, "start from the 10k-node CityScale preset instead of the paper defaults")
 		metro    = flag.Bool("metro", false, "start from the 100k-node MetroScale preset (auto shards, delta gossip) instead of the paper defaults")
+		timing   = flag.Bool("timing", false, "profile the engine and print a per-tick phase breakdown after the report (results stay bit-identical)")
 		verbose  = flag.Bool("v", false, "print per-seed summaries")
 		serve    = flag.String("serve", "", "instead of running one scenario, serve the dtnd simulation API on this address (e.g. :8080)")
 		cacheDir = flag.String("cache", "dtnd-cache", "result cache directory for -serve (empty disables)")
@@ -111,6 +112,7 @@ func main() {
 	apply("gossip", func() { s.Gossip = *gossip })
 	apply("sparse", func() { s.SparseEstimators = *sparse })
 	s.Seed = *seed
+	s.Profile = *timing
 
 	start := time.Now()
 	var sums []metrics.Summary
@@ -146,6 +148,12 @@ func main() {
 		fmt.Printf("  digest volume  %.1f KB (included above)\n", float64(mean.GossipDigestBytes)/1024)
 	}
 	fmt.Printf("wall time        %s\n", elapsed.Round(time.Millisecond))
+	if *timing {
+		// Mean folds the per-seed timing blocks into one (sums, not means),
+		// so this is the whole run's engine-phase breakdown.
+		fmt.Println(strings.Repeat("-", 64))
+		mean.Timing.Report(os.Stdout)
+	}
 	if mean.Generated == 0 {
 		fmt.Fprintln(os.Stderr, "warning: no messages generated")
 		os.Exit(1)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/resultcache"
 )
 
@@ -35,8 +36,10 @@ func main() {
 		shards = flag.String("shards", "0", "per-world tick shards: a count or \"auto\" (0 = serial; summaries identical). The pool already fills all cores, so set this only for few huge runs")
 		sparse = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
 		cache  = flag.String("cache", "", "content-addressed result cache shared with dtnd and cmd/sweep; Figure-2 cells hit it (empty disables)")
+		timing = flag.Bool("timing", false, "profile the engine and print a per-figure phase breakdown (results stay bit-identical; cached cells carry no timing)")
 	)
 	flag.Parse()
+	profileRuns = *timing
 
 	shardCount, err := experiment.ParseShards(*shards)
 	if err != nil {
@@ -47,6 +50,7 @@ func main() {
 	base.Duration = *outDur
 	base.Shards = shardCount
 	base.SparseEstimators = *sparse
+	base.Profile = *timing
 	counts := []int{40, 80, 120, 160, 200, 240}
 	if *quick {
 		base.Duration = 4000
@@ -68,6 +72,11 @@ func main() {
 		Shards:           experiment.Ptr(experiment.ShardCount(shardCount)),
 		SparseEstimators: experiment.Ptr(*sparse),
 		Seeds:            experiment.Seeds(*seeds),
+	}
+	if *timing {
+		// Profile is excluded from cell cache keys, so profiled figure
+		// runs still hit (and write) the same cached cells.
+		baseSpec.Profile = experiment.Ptr(true)
 	}
 	var store *resultcache.Store
 	if *cache != "" {
@@ -144,10 +153,41 @@ func splitComma(s string) []string {
 	return append(out, cur)
 }
 
+// profileRuns mirrors the -timing flag for the figure helpers: when set,
+// every emitted figure is followed by its aggregated engine-phase report.
+var profileRuns bool
+
+// reportTiming folds the timing blocks of every point in the series (each
+// point's mean already folds its seeds) and prints one phase breakdown for
+// the figure. Cached cells carry no timing, so a fully-cached figure
+// prints how much of it was served from disk instead.
+func reportTiming(title string, series []experiment.Series) {
+	if !profileRuns {
+		return
+	}
+	var tm *obs.Timing
+	missing := 0
+	for _, se := range series {
+		for _, pt := range se.Points {
+			if pt.Summary.Timing == nil {
+				missing++
+				continue
+			}
+			tm = obs.MergeTiming(tm, pt.Summary.Timing)
+		}
+	}
+	fmt.Printf("\n%s — engine phase breakdown:\n", title)
+	tm.Report(os.Stdout)
+	if missing > 0 {
+		fmt.Printf("(%d points served from cache, not profiled)\n", missing)
+	}
+}
+
 func emit(title string, series []experiment.Series, csvPrefix, suffix string) {
 	for _, m := range experiment.PaperMetrics {
 		experiment.RenderTable(os.Stdout, title, "nodes", series, m)
 	}
+	reportTiming(title, series)
 	if csvPrefix != "" {
 		path := csvPrefix + suffix + ".csv"
 		f, err := os.Create(path)
@@ -252,6 +292,7 @@ func hysteresis(base experiment.Scenario, counts []int, seeds int, csvPrefix str
 	for _, m := range experiment.PaperMetrics {
 		experiment.RenderTable(os.Stdout, fmt.Sprintf("Ablation A3 — forwarding hysteresis (n=%d)", n), "hysteresis (s)", series, m)
 	}
+	reportTiming("Ablation A3", series)
 	if csvPrefix != "" {
 		path := csvPrefix + "_a3.csv"
 		f, err := os.Create(path)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -123,6 +124,15 @@ type Scenario struct {
 	// (RunSpecStore and the sweep/daemon layers above it) acts on it;
 	// Scenario.Run and Build always run live.
 	Trace string `json:"-"`
+
+	// Profile attaches an engine phase profiler to the run: the returned
+	// Summary carries a Timing block (see internal/obs). Profiling
+	// observes wall time only — summaries are bit-identical with it on
+	// or off, minus the timing block itself — and wall time is not
+	// deterministic, so like Trace it is excluded from the result-cache
+	// canonical form (json:"-"): profiled and unprofiled runs share one
+	// content address, and the cache strips Timing before persisting.
+	Profile bool `json:"-"`
 }
 
 // Default returns the paper's Section V-A settings: 10 m range, 2 Mb/s,
@@ -437,8 +447,24 @@ func (s Scenario) gossipMode() core.ExchangeMode {
 // Run executes the scenario to completion and returns its metrics.
 func (s Scenario) Run() metrics.Summary {
 	w, runner := s.Build()
+	prof := s.attachProfiler(w, runner)
 	runner.Run(s.Duration)
-	return w.Metrics.Summary()
+	sum := w.Metrics.Summary()
+	sum.Timing = prof.Timing()
+	return sum
+}
+
+// attachProfiler wires a fresh engine profiler into a built world and
+// its runner when the scenario asks for one (Profile); returns nil —
+// and leaves the world on the uninstrumented fast path — otherwise.
+func (s Scenario) attachProfiler(w *network.World, runner *sim.Runner) *obs.EngineProf {
+	if !s.Profile {
+		return nil
+	}
+	p := &obs.EngineProf{}
+	w.SetProfiler(p)
+	runner.Prof = p
+	return p
 }
 
 // RunSeeds executes the scenario once per seed (in parallel through the

@@ -90,6 +90,13 @@ type ScenarioSpec struct {
 	// CLI with -cache) and never changes the result — replayed runs are
 	// bit-identical to live ones — so it is excluded from the cache key.
 	Trace *string `json:"trace,omitempty"`
+
+	// Profile attaches the engine phase profiler (see Scenario.Profile):
+	// fresh runs return summaries carrying a timing block. Profiling
+	// never changes simulation results, so like Trace it is excluded
+	// from the cache key — a cached (timing-free) result satisfies a
+	// profiled request.
+	Profile *bool `json:"profile,omitempty"`
 }
 
 // MapSpec overrides road-map generation parameters (mapgen.Config).
@@ -351,6 +358,9 @@ func (sp ScenarioSpec) apply(base Scenario) Scenario {
 	}
 	if sp.Trace != nil {
 		s.Trace = *sp.Trace
+	}
+	if sp.Profile != nil {
+		s.Profile = *sp.Profile
 	}
 	if m := sp.Map; m != nil {
 		if m.Width != nil {

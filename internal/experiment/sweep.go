@@ -168,11 +168,14 @@ type CellResult struct {
 
 // CellResultOf packages a cell's per-seed summaries as the store's
 // Result record — the one serialization the daemon and the CLIs share.
+// Timing blocks are stripped first: stored bytes are identical whether
+// or not the producing run was profiled.
 func CellResultOf(cell SweepCell, perSeed []metrics.Summary) (*resultcache.Result, error) {
 	canon, err := cell.Spec.CanonicalJSON()
 	if err != nil {
 		return nil, err
 	}
+	perSeed = StripTiming(perSeed)
 	return &resultcache.Result{
 		Key:           cell.Key,
 		CanonicalSpec: canon,
@@ -180,6 +183,29 @@ func CellResultOf(cell SweepCell, perSeed []metrics.Summary) (*resultcache.Resul
 		PerSeed:       perSeed,
 		Mean:          metrics.Mean(perSeed),
 	}, nil
+}
+
+// StripTiming returns the summaries with any engine-profile timing
+// blocks removed — the deterministic (cacheable) part of a profiled
+// run's output. The input is never modified; timing-free input is
+// returned as-is, alias and all.
+func StripTiming(ss []metrics.Summary) []metrics.Summary {
+	hasTiming := false
+	for i := range ss {
+		if ss[i].Timing != nil {
+			hasTiming = true
+			break
+		}
+	}
+	if !hasTiming {
+		return ss
+	}
+	out := make([]metrics.Summary, len(ss))
+	copy(out, ss)
+	for i := range out {
+		out[i].Timing = nil
+	}
+	return out
 }
 
 // RunSweep expands and executes a sweep: cells found in store are served

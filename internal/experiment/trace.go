@@ -284,16 +284,20 @@ func runScenario(ctx context.Context, s Scenario, store *resultcache.Store, hook
 
 	if script != nil {
 		w, runner := s.BuildReplay(scriptEvents(script))
+		prof := s.attachProfiler(w, runner)
 		if runner.RunContext(ctx, s.Duration, pollEvery(s), hook) != nil {
 			return sum, false, nil // cancelled mid-run
 		}
 		traceReplays.Add(1)
-		return w.Metrics.Summary(), true, nil
+		sum = w.Metrics.Summary()
+		sum.Timing = prof.Timing()
+		return sum, true, nil
 	}
 
 	// Live run; in record (or auto-with-no-script) mode the protocol run
 	// doubles as the recording — mobility is simulated once, not twice.
 	w, runner := s.Build()
+	prof := s.attachProfiler(w, runner)
 	var rec *trace.ScriptRecorder
 	if key != "" {
 		rec = trace.NewScriptRecorder(s.Nodes)
@@ -311,5 +315,7 @@ func runScenario(ctx context.Context, s Scenario, store *resultcache.Store, hook
 			return sum, false, fmt.Errorf("experiment: persist trace %s: %w", key, err)
 		}
 	}
-	return w.Metrics.Summary(), true, nil
+	sum = w.Metrics.Summary()
+	sum.Timing = prof.Timing()
+	return sum, true, nil
 }

@@ -7,6 +7,8 @@ package metrics
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Collector tallies a single simulation run. It is not safe for concurrent
@@ -216,28 +218,37 @@ type Summary struct {
 	Goodput       float64 `json:"goodput"`
 	OverheadRatio float64 `json:"overhead_ratio"`
 	AvgHops       float64 `json:"avg_hops"`
+
+	// Timing is the engine phase profile of the run that produced this
+	// summary — present only when profiling was requested, nil (and
+	// omitted from JSON) otherwise. Wall-clock time is not deterministic,
+	// so Timing is NOT part of the wire contract above: the result cache
+	// strips it before persisting (experiment.CellResultOf), keeping
+	// cached bytes and golden fixtures identical whether or not the run
+	// was profiled.
+	Timing *obs.Timing `json:"timing,omitempty"`
 }
 
 // Summary returns the current snapshot.
 func (c *Collector) Summary() Summary {
 	return Summary{
-		Generated:     c.generated,
-		Delivered:     c.delivered,
-		Relays:        c.relays,
-		Drops:         c.drops,
-		Aborts:        c.aborts,
-		Expired:       c.expired,
-		Contacts:      c.contacts,
+		Generated:         c.generated,
+		Delivered:         c.delivered,
+		Relays:            c.relays,
+		Drops:             c.drops,
+		Aborts:            c.aborts,
+		Expired:           c.expired,
+		Contacts:          c.contacts,
 		GossipRows:        c.gossipRows,
 		GossipEntries:     c.gossipEntries,
 		GossipBytes:       c.gossipBytes,
 		GossipDigestBytes: c.gossipDigestBytes,
-		DeliveryRatio: c.DeliveryRatio(),
-		AvgLatency:    c.AvgLatency(),
-		MedianLatency: c.MedianLatency(),
-		Goodput:       c.Goodput(),
-		OverheadRatio: c.OverheadRatio(),
-		AvgHops:       c.AvgHops(),
+		DeliveryRatio:     c.DeliveryRatio(),
+		AvgLatency:        c.AvgLatency(),
+		MedianLatency:     c.MedianLatency(),
+		Goodput:           c.Goodput(),
+		OverheadRatio:     c.OverheadRatio(),
+		AvgHops:           c.AvgHops(),
 	}
 }
 
@@ -261,6 +272,10 @@ type Progress struct {
 	Done     bool     `json:"done,omitempty"`
 	Error    string   `json:"error,omitempty"`
 	Summary  *Summary `json:"summary,omitempty"`
+	// Timing rides the terminal event of profiled daemon jobs: the
+	// job's engine phase profile, kept outside Summary so the cached
+	// (deterministic) result bytes stay timing-free.
+	Timing *obs.Timing `json:"timing,omitempty"`
 }
 
 // Mean averages a set of summaries component-wise (counts become means
@@ -289,6 +304,8 @@ func Mean(ss []Summary) Summary {
 		out.Goodput += s.Goodput
 		out.OverheadRatio += s.OverheadRatio
 		out.AvgHops += s.AvgHops
+		// Timing folds (sums, not means): the merged block spans all runs.
+		out.Timing = obs.MergeTiming(out.Timing, s.Timing)
 	}
 	out.Generated = int(float64(out.Generated)/n + 0.5)
 	out.Delivered = int(float64(out.Delivered)/n + 0.5)

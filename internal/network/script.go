@@ -1,5 +1,7 @@
 package network
 
+import "repro/internal/obs"
+
 // Scripted (trace-replay) worlds: instead of moving nodes and detecting
 // contacts geometrically, the world fires a pre-recorded contact event
 // script. Mobility advance, grid maintenance and pair sweeps are skipped
@@ -54,6 +56,7 @@ func (w *World) Scripted() bool { return w.scripted }
 func (w *World) tickScripted(t float64) {
 	w.lastTick = t
 	w.tickCount++
+	st := w.prof.Start()
 	downs := false
 	for w.scriptPos < len(w.script) {
 		e := w.script[w.scriptPos]
@@ -82,9 +85,12 @@ func (w *World) tickScripted(t float64) {
 		}
 		w.linkList = keep
 	}
+	st = w.prof.Lap(obs.PhaseScript, st)
 	if w.tickCount%uint64(w.cfg.ExpirySweepEvery) == 0 {
 		w.sweepExpired(t)
+		w.prof.Lap(obs.PhaseExpiry, st)
 	}
+	w.prof.TickDone()
 }
 
 // linkTo returns the node's active link to peer, or nil.

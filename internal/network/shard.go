@@ -3,6 +3,8 @@ package network
 import (
 	"math"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // This file is the sharded tick pipeline selected by Config.Shards > 0:
@@ -114,6 +116,17 @@ func (w *World) parallel(shards, n int, fn func(shard, lo, hi int)) {
 	if n == 0 {
 		return
 	}
+	// Profiled runs book each worker's busy span against its shard index
+	// (the imbalance lens). The wrapper exists only when profiling, so
+	// the disabled path pays nothing per chunk.
+	if p := w.prof; p != nil {
+		inner := fn
+		fn = func(shard, lo, hi int) {
+			t0 := obs.Now()
+			inner(shard, lo, hi)
+			p.AddShardBusy(shard, obs.Now()-t0)
+		}
+	}
 	if shards > n {
 		shards = n
 	}
@@ -155,6 +168,7 @@ func (w *World) tickSharded(t float64) {
 	g := &w.grid
 
 	// Phase A: advance movers, detect cell changes and classify movers.
+	st := w.prof.Start()
 	for s := 0; s < shards; s++ {
 		w.shard.movedW[s] = w.shard.movedW[s][:0]
 		w.shard.bndW[s] = w.shard.bndW[s][:0]
@@ -186,6 +200,7 @@ func (w *World) tickSharded(t float64) {
 		w.shard.movedW[shard] = movedL
 		w.shard.bndW[shard] = bndL
 	})
+	st = w.prof.Lap(obs.PhaseMobility, st)
 
 	// Phase A2 (parallel): re-bucket region-local movers, one goroutine
 	// per region; every mutation stays inside the region's table.
@@ -198,6 +213,7 @@ func (w *World) tickSharded(t float64) {
 			}
 		}
 	})
+	st = w.prof.Lap(obs.PhaseRebucket, st)
 	// Merge A2: reconcile the boundary crossings in ascending id order —
 	// the only grid mutations that may touch more than one region.
 	for s := 0; s < shards; s++ {
@@ -205,6 +221,7 @@ func (w *World) tickSharded(t float64) {
 			g.update(i, w.nodes[i].pos)
 		}
 	}
+	st = w.prof.Lap(obs.PhaseMerge, st)
 	// Phase A3 (parallel): warm the neighbour caches phase B reads
 	// lock-free, per region (each bucket's cache has one writer). grow()
 	// inside A2 may have invalidated caches, so warming strictly follows
@@ -231,6 +248,7 @@ func (w *World) tickSharded(t float64) {
 	for s := 0; s < shards; s++ {
 		moved = append(moved, w.shard.movedW[s]...)
 	}
+	st = w.prof.Lap(obs.PhaseRebucket, st) // A3 cache warm + concat
 
 	// Phase B: collect untracked candidate pairs around moved nodes.
 	for s := 0; s < shards; s++ {
@@ -243,12 +261,14 @@ func (w *World) tickSharded(t float64) {
 		}
 		w.shard.scanBufs[shard] = buf
 	})
+	st = w.prof.Lap(obs.PhaseScan, st)
 	for s := 0; s < shards; s++ {
 		for _, p := range w.shard.scanBufs[s] {
 			w.sched.track(p[0], p[1], tick)
 		}
 	}
 	w.movedBuf = moved[:0]
+	st = w.prof.Lap(obs.PhaseMerge, st)
 
 	// Phase C: classify the due re-checks (cf. updateContacts phase 2).
 	slot := tick % wheelSize
@@ -275,6 +295,7 @@ func (w *World) tickSharded(t float64) {
 			}
 		}
 	})
+	st = w.prof.Lap(obs.PhasePairs, st)
 	newPairs := w.newPairs[:0]
 	for x, k := range due {
 		switch v := verdicts[x]; v {
@@ -287,6 +308,7 @@ func (w *World) tickSharded(t float64) {
 		}
 	}
 	w.sched.wheel[slot] = due[:0]
+	st = w.prof.Lap(obs.PhaseMerge, st)
 
 	// Phase D: distance-test the active links, tear down in list order,
 	// then establish new contacts (cf. updateContacts phase 3).
@@ -300,6 +322,7 @@ func (w *World) tickSharded(t float64) {
 			linkD2[x] = l.a.pos.Dist2(l.b.pos)
 		}
 	})
+	st = w.prof.Lap(obs.PhaseLinks, st)
 	keep := w.linkList[:0]
 	for x, l := range w.linkList {
 		if linkD2[x] <= r2 {
@@ -310,7 +333,9 @@ func (w *World) tickSharded(t float64) {
 		w.sched.reschedule(pairKey(int32(l.a.ID), int32(l.b.ID)), tick+w.recheckDelay(linkD2[x]))
 	}
 	w.linkList = keep
+	st = w.prof.Lap(obs.PhaseMerge, st)
 	w.establishNewContacts(newPairs, t)
+	st = w.prof.Lap(obs.PhaseContacts, st)
 
 	// Phase E: expiry sweep over disjoint per-node buffers.
 	if tick%uint64(w.cfg.ExpirySweepEvery) == 0 {
@@ -327,7 +352,9 @@ func (w *World) tickSharded(t float64) {
 		for _, c := range w.shard.expired {
 			w.Metrics.MessagesExpired(c)
 		}
+		w.prof.Lap(obs.PhaseExpiry, st)
 	}
+	w.prof.TickDone()
 }
 
 // collectNeighborhood appends to buf every untracked candidate pair

@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -84,6 +85,12 @@ type World struct {
 	scripted  bool
 	script    []ScriptEvent
 	scriptPos int
+
+	// prof, when non-nil, books per-phase wall time for every tick path
+	// (obs package). nil — the default — costs one pointer check per
+	// phase boundary; profiling never touches simulation state, so
+	// results are bit-identical either way.
+	prof *obs.EngineProf
 }
 
 // New returns an empty world driven by runner.
@@ -116,6 +123,20 @@ func New(cfg Config, runner *sim.Runner) *World {
 
 // Config returns the physical configuration.
 func (w *World) Config() Config { return w.cfg }
+
+// SetProfiler attaches an engine profiler (nil detaches). The profiler
+// observes wall time only — a profiled run is bit-identical to an
+// unprofiled one. Callers normally share one profiler between the world
+// and its runner (sim.Runner.Prof) so event time and tick time land in
+// one Timing block.
+func (w *World) SetProfiler(p *obs.EngineProf) {
+	w.prof = p
+	workers := w.cfg.Shards
+	if w.grid.regions > workers {
+		workers = w.grid.regions
+	}
+	p.EnsureShards(workers)
+}
 
 // Runner returns the simulation driver.
 func (w *World) Runner() *sim.Runner { return w.runner }
@@ -218,13 +239,18 @@ func (w *World) Tick(t float64) {
 	dt := t - w.lastTick
 	w.lastTick = t
 	w.tickCount++
+	st := w.prof.Start()
 	for _, n := range w.nodes {
 		n.pos = n.Mover.Step(dt)
 	}
+	w.prof.Lap(obs.PhaseMobility, st)
 	w.updateContacts(t)
 	if w.tickCount%uint64(w.cfg.ExpirySweepEvery) == 0 {
+		st = w.prof.Start()
 		w.sweepExpired(t)
+		w.prof.Lap(obs.PhaseExpiry, st)
 	}
+	w.prof.TickDone()
 }
 
 // updateContacts maintains the in-range pair set incrementally: moved
@@ -239,16 +265,19 @@ func (w *World) updateContacts(t float64) {
 	// Phase 1: re-bucket nodes whose cell changed and track every
 	// untracked pair in their new 3x3 neighbourhood for an immediate
 	// check. Node order keeps runs deterministic.
+	st := w.prof.Start()
 	moved := w.movedBuf[:0]
 	for i, n := range w.nodes {
 		if w.grid.update(int32(i), n.pos) {
 			moved = append(moved, int32(i))
 		}
 	}
+	st = w.prof.Lap(obs.PhaseRebucket, st)
 	for _, i := range moved {
 		w.scanNeighborhood(i, tick)
 	}
 	w.movedBuf = moved[:0]
+	st = w.prof.Lap(obs.PhaseScan, st)
 
 	// Phase 2: run the distance checks due this tick. Link pairs are
 	// never parked on the wheel (the link list below is their check), so
@@ -279,6 +308,7 @@ func (w *World) updateContacts(t float64) {
 		}
 	}
 	w.sched.wheel[slot] = due[:0]
+	st = w.prof.Lap(obs.PhasePairs, st)
 
 	// Phase 3: distance-sweep the active links — cheaper than parking
 	// the (frequently-checked) in-range pairs on the wheel. Tear down
@@ -295,7 +325,9 @@ func (w *World) updateContacts(t float64) {
 		w.sched.reschedule(pairKey(int32(l.a.ID), int32(l.b.ID)), tick+w.recheckDelay(d2))
 	}
 	w.linkList = keep
+	st = w.prof.Lap(obs.PhaseLinks, st)
 	w.establishNewContacts(newPairs, t)
+	w.prof.Lap(obs.PhaseContacts, st)
 }
 
 // establishNewContacts fires contactUp for every pair in ascending pair
@@ -369,8 +401,10 @@ func (w *World) contactUp(a, b *Node, t float64) {
 	w.linkList = append(w.linkList, l)
 	a.addLink(l)
 	b.addLink(l)
+	ex := w.prof.Start()
 	a.Router.ContactUp(t, b)
 	b.Router.ContactUp(t, a)
+	w.prof.Exchange(ex)
 	l.pump(w, t)
 }
 
@@ -381,8 +415,10 @@ func (w *World) contactDown(l *Link, t float64) {
 	l.abort(w)
 	l.a.removeLink(l)
 	l.b.removeLink(l)
+	ex := w.prof.Start()
 	l.a.Router.ContactDown(t, l.b)
 	l.b.Router.ContactDown(t, l.a)
+	w.prof.Exchange(ex)
 }
 
 // completeTransfer applies a finished transfer: delivery or relay, quota

@@ -92,7 +92,7 @@ func TestSubmitRefusesTerminalCoalesce(t *testing.T) {
 	// Done-in-window: the submission is served the snapshot result.
 	j, spec := fabricateJob(t, s, testSpec)
 	res := &Result{Key: j.key, Seeds: spec.SeedList(), PerSeed: []metrics.Summary{{Generated: 7}, {Generated: 9}}, Mean: metrics.Summary{Generated: 8}}
-	j.finish(res, nil)
+	j.finish(res, nil, nil)
 	sub, code := postSpec(t, ts, testSpec)
 	if code != http.StatusOK || sub.Result == nil || sub.Status != string(stateDone) || !sub.Cached {
 		t.Fatalf("terminal-done window: code=%d %+v, want inline result", code, sub)
@@ -198,7 +198,7 @@ func TestSweepCellRefusesTerminalCoalesce(t *testing.T) {
 	// Done-in-window: the cell takes the snapshot result as cached.
 	doneSpec := `{"preset": "quick", "protocol": "Direct", "nodes": 16, "duration": 300, "seeds": [51]}`
 	j2, spec2 := fabricateJob(t, s, doneSpec)
-	j2.finish(&Result{Key: j2.key, Seeds: spec2.SeedList(), PerSeed: []metrics.Summary{{Generated: 5}}, Mean: metrics.Summary{Generated: 5}}, nil)
+	j2.finish(&Result{Key: j2.key, Seeds: spec2.SeedList(), PerSeed: []metrics.Summary{{Generated: 5}}, Mean: metrics.Summary{Generated: 5}}, nil, nil)
 	sw2, code := postSweep(t, ts, `{"base": {"preset": "quick", "protocol": "Direct", "nodes": 16, "duration": 300, "seeds": [51]}}`)
 	if code != http.StatusOK || sw2.CellsCached != 1 || sw2.Status != string(stateDone) {
 		t.Fatalf("done-in-window cell not served from snapshot: code=%d %+v", code, sw2)

@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/resultcache"
 )
 
@@ -42,6 +44,29 @@ type serverCounters struct {
 	progressEvents atomic.Int64 // simulation progress events published
 	simMillis      atomic.Int64 // simulated scenario-milliseconds completed
 	streamSubs     atomic.Int64 // gauge: NDJSON streams currently open
+
+	// Engine phase accounting, accumulated from every profiled job's
+	// merged timing block (runJob): wall-nanoseconds per tick phase, plus
+	// the routing-exchange share nested inside the contact phases.
+	phaseNanos    [obs.NumPhases]atomic.Int64
+	exchangeNanos atomic.Int64
+}
+
+// noteTiming folds one job's phase profile into the daemon-lifetime phase
+// counters. Phases are matched by name, so the counters stay correct even
+// if a timing block carries a partial phase list.
+func (m *serverCounters) noteTiming(tm *obs.Timing) {
+	if tm == nil {
+		return
+	}
+	for i, name := range obs.PhaseNames() {
+		if ns := int64(tm.PhaseSeconds(name) * 1e9); ns > 0 {
+			m.phaseNanos[i].Add(ns)
+		}
+	}
+	if ns := int64(tm.ExchangeSeconds * 1e9); ns > 0 {
+		m.exchangeNanos.Add(ns)
+	}
 }
 
 // noteTerminal records a job's final state (the job's onTerminal hook).
@@ -89,6 +114,8 @@ func (s *Server) metricDefs() []metricDef {
 		counter("dtnd_progress_events_total", "Simulation progress events published to streams and sweeps.", &m.progressEvents),
 		{name: "dtnd_sim_seconds_total", help: "Simulated scenario-seconds completed across all jobs (rate() gives sim-time throughput).", typ: "counter",
 			value: func() float64 { return float64(m.simMillis.Load()) / 1000 }},
+		{name: "dtnd_sim_exchange_seconds_total", help: "Wall-seconds spent in routing exchange callbacks (nested inside the contact phases of dtnd_sim_phase_seconds_total).", typ: "counter",
+			value: func() float64 { return float64(m.exchangeNanos.Load()) / 1e9 }},
 		{name: "dtnd_queue_depth", help: "Accepted-but-not-finished jobs (queued + running).", typ: "gauge",
 			value: func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.queued) }},
 		{name: "dtnd_jobs_retained", help: "Job records addressable in memory (bounded retention ring).", typ: "gauge",
@@ -146,7 +173,86 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, d := range s.metricDefs() {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", d.name, d.help, d.name, d.typ, d.name, d.value())
 	}
+	s.writePhaseFamily(&b)
+	s.writeHistograms(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	io.WriteString(w, b.String())
+}
+
+// writePhaseFamily renders the labeled per-phase counter family — one
+// series per engine tick phase, all present from the first scrape so
+// rate() never sees a series appear mid-flight.
+func (s *Server) writePhaseFamily(b *strings.Builder) {
+	const name = "dtnd_sim_phase_seconds_total"
+	fmt.Fprintf(b, "# HELP %s Wall-seconds spent per engine tick phase across all profiled jobs.\n# TYPE %s counter\n", name, name)
+	for i, ph := range obs.PhaseNames() {
+		fmt.Fprintf(b, "%s{phase=%q} %g\n", name, ph, float64(s.m.phaseNanos[i].Load())/1e9)
+	}
+}
+
+// histogramFamily is one exposition histogram family: a name, HELP text
+// and one labeled series per histogram.
+type histogramFamily struct {
+	name   string
+	help   string
+	label  string // label key, "" for an unlabeled single-series family
+	series []struct {
+		value string
+		h     *obs.Histogram
+	}
+}
+
+// histogramFamilies lists the daemon's histogram families in scrape order.
+func (s *Server) histogramFamilies() []histogramFamily {
+	httpFam := histogramFamily{
+		name:  "dtnd_http_request_duration_seconds",
+		help:  "HTTP request duration by response class (streams book their full lifetime).",
+		label: "class",
+	}
+	for i, class := range respClasses {
+		httpFam.series = append(httpFam.series, struct {
+			value string
+			h     *obs.Histogram
+		}{class, s.httpDur[i]})
+	}
+	waitFam := histogramFamily{
+		name: "dtnd_queue_wait_seconds",
+		help: "Time jobs waited from acceptance to acquiring a run permit.",
+	}
+	waitFam.series = append(waitFam.series, struct {
+		value string
+		h     *obs.Histogram
+	}{"", s.queueWait})
+	return []histogramFamily{httpFam, waitFam}
+}
+
+// writeHistograms renders the histogram families in Prometheus text
+// format: cumulative _bucket series ending at le="+Inf", then _sum and
+// _count per labeled series.
+func (s *Server) writeHistograms(b *strings.Builder) {
+	for _, fam := range s.histogramFamilies() {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", fam.name, fam.help, fam.name)
+		for _, ser := range fam.series {
+			snap := ser.h.Snapshot()
+			lbl := ""
+			if fam.label != "" {
+				lbl = fam.label + "=" + strconv.Quote(ser.value) + ","
+			}
+			cum := int64(0)
+			for i, c := range snap.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(snap.Bounds) {
+					le = strconv.FormatFloat(snap.Bounds[i], 'g', -1, 64)
+				}
+				fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", fam.name, lbl, le, cum)
+			}
+			sfx := ""
+			if fam.label != "" {
+				sfx = "{" + strings.TrimSuffix(lbl, ",") + "}"
+			}
+			fmt.Fprintf(b, "%s_sum%s %g\n%s_count%s %d\n", fam.name, sfx, snap.Sum, fam.name, sfx, snap.Count)
+		}
+	}
 }

@@ -137,7 +137,7 @@ func TestMetricsTerminalWindowHit(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	j, spec := fabricateJob(t, s, testSpec)
-	j.finish(&Result{Key: j.key, Seeds: spec.SeedList()}, nil)
+	j.finish(&Result{Key: j.key, Seeds: spec.SeedList()}, nil, nil)
 	if _, code := postSpec(t, ts, testSpec); code != http.StatusOK {
 		t.Fatalf("terminal-window submit status %d", code)
 	}

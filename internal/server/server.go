@@ -33,13 +33,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/resultcache"
 )
 
@@ -63,6 +67,14 @@ type Config struct {
 	// individually: a sweep whose uncached cells would not fit is refused
 	// whole.
 	MaxQueuedJobs int
+	// Logger receives the daemon's structured log lines (job and sweep
+	// lifecycle, each line carrying the relevant job/sweep/cell IDs). nil
+	// discards them — the default for tests and embedded use.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/* on the same
+	// listener. Off by default: the daemon may face untrusted clients,
+	// and profiles leak timing/heap internals.
+	EnablePprof bool
 }
 
 // jobState is the lifecycle of a submitted job.
@@ -87,11 +99,12 @@ func terminalState(st jobState) bool {
 // Subscribed callbacks (sweeps aggregating their cells) receive each
 // event after the append, outside mu.
 type job struct {
-	id     string
-	key    string
-	spec   experiment.ScenarioSpec
-	ctx    context.Context // cancelled to stop the job
-	cancel context.CancelFunc
+	id       string
+	key      string
+	spec     experiment.ScenarioSpec
+	ctx      context.Context // cancelled to stop the job
+	cancel   context.CancelFunc
+	accepted time.Time // when the submission was queued (queue-wait metric)
 
 	// holders counts submissions referencing this job — the direct POST
 	// or owning sweep plus every coalesced attach — and is guarded by
@@ -109,6 +122,10 @@ type job struct {
 	events []metrics.Progress
 	notify chan struct{}
 	result *Result
+	// timing is the job's engine phase profile (nil for cache hits and
+	// unprofiled jobs). It lives outside result so the cached bytes stay
+	// deterministic; job status and the terminal stream event carry it.
+	timing *obs.Timing
 	// resultJSON is the result encoded once at completion, so the submit
 	// fast paths (disk hit, coalesce onto a done job) splice bytes instead
 	// of re-marshalling the full per-seed summary table per request.
@@ -142,6 +159,11 @@ type Server struct {
 	wg        sync.WaitGroup // accepted jobs not yet finished
 	simulated atomic.Int64   // jobs that actually ran (cache misses)
 	m         serverCounters // /metrics state (see metrics.go)
+	log       *slog.Logger
+
+	// Latency histogram families served by /metrics (see metrics.go).
+	httpDur   [len(respClasses)]*obs.Histogram // request duration by response class
+	queueWait *obs.Histogram                   // accepted -> permit acquired
 }
 
 // New returns a server, creating the cache directory if configured.
@@ -153,11 +175,19 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxQueuedJobs = 64
 	}
 	s := &Server{
-		cfg:    cfg,
-		jobs:   make(map[string]*job),
-		active: make(map[string]*job),
-		sweeps: make(map[string]*sweepJob),
-		sem:    make(chan struct{}, cfg.MaxConcurrentJobs),
+		cfg:       cfg,
+		jobs:      make(map[string]*job),
+		active:    make(map[string]*job),
+		sweeps:    make(map[string]*sweepJob),
+		sem:       make(chan struct{}, cfg.MaxConcurrentJobs),
+		log:       cfg.Logger,
+		queueWait: obs.NewHistogram(obs.DefaultDurationBuckets()),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	for i := range s.httpDur {
+		s.httpDur[i] = obs.NewHistogram(obs.DefaultDurationBuckets())
 	}
 	if cfg.CacheDir != "" {
 		st, err := resultcache.Open(cfg.CacheDir, cfg.MaxCacheBytes)
@@ -182,11 +212,81 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
-// Handler returns the HTTP handler (also usable under httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (also usable under httptest): the
+// route mux wrapped in the request-duration middleware.
+func (s *Server) Handler() http.Handler { return s.timed(s.mux) }
+
+// respClasses are the response classes the duration histogram is
+// partitioned by; classIdx maps a status code onto them.
+var respClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+func classIdx(status int) int {
+	switch {
+	case status < 300:
+		return 0
+	case status < 400:
+		return 1
+	case status < 500:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// statusWriter captures the response status for the duration histogram.
+// It passes Flush through — the NDJSON streaming endpoints type-assert
+// http.Flusher on the writer they are handed.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// timed is the request-duration middleware: every request lands in the
+// histogram of its response class, long-lived NDJSON streams included
+// (they book their full lifetime — the histogram's +Inf bucket absorbs
+// them rather than skewing the finite buckets).
+func (s *Server) timed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.httpDur[classIdx(status)].Observe(time.Since(start).Seconds())
+	})
+}
 
 // Simulated returns how many jobs ran a simulation (cache misses) — the
 // observability hook the cache tests assert on.
@@ -249,6 +349,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// — a hit costs one file read, zero JSON marshalling.
 	if res, raw, ok := s.store.GetRaw(key); ok && len(res.PerSeed) == len(spec.SeedList()) {
 		s.m.submitHits.Add(1)
+		s.log.Debug("job cache hit", "key", key)
 		writeCachedResult(w, "", key, raw)
 		return
 	}
@@ -276,6 +377,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.holders++
 			s.mu.Unlock()
 			s.m.submitCoalesced.Add(1)
+			s.log.Debug("job coalesced", "job", j.id, "key", key)
 			writeJSON(w, http.StatusOK, submitResponse{JobID: j.id, Key: key, Status: string(snap.state)})
 			return
 		case snap.state == stateDone && snap.result != nil:
@@ -300,6 +402,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := s.newJobLocked(key, spec)
 	s.mu.Unlock()
 
+	s.log.Info("job accepted", "job", j.id, "key", key)
 	go s.runJob(j)
 	writeJSON(w, http.StatusAccepted, submitResponse{JobID: j.id, Key: key, Status: string(stateQueued)})
 }
@@ -310,15 +413,19 @@ func (s *Server) newJobLocked(key string, spec experiment.ScenarioSpec) *job {
 	s.nextID++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:         fmt.Sprintf("j%d", s.nextID),
-		key:        key,
-		spec:       spec,
-		ctx:        ctx,
-		cancel:     cancel,
-		holders:    1,
-		state:      stateQueued,
-		notify:     make(chan struct{}),
-		onTerminal: s.m.noteTerminal,
+		id:       fmt.Sprintf("j%d", s.nextID),
+		key:      key,
+		spec:     spec,
+		ctx:      ctx,
+		cancel:   cancel,
+		accepted: time.Now(),
+		holders:  1,
+		state:    stateQueued,
+		notify:   make(chan struct{}),
+	}
+	j.onTerminal = func(st jobState) {
+		s.m.noteTerminal(st)
+		s.log.Info("job terminal", "job", j.id, "key", j.key, "status", string(st))
 	}
 	s.jobs[j.id] = j
 	s.active[key] = j
@@ -367,12 +474,14 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	defer func() { <-s.sem }()
+	s.queueWait.Observe(time.Since(j.accepted).Seconds())
 	if j.ctx.Err() != nil {
 		j.cancelled()
 		return
 	}
 
 	j.setState(stateRunning)
+	s.log.Info("job running", "job", j.id, "key", j.key)
 	// Meter simulation throughput off the progress feed: events arrive
 	// serialized (RunSpecContext delivers under its own lock), so the
 	// per-seed last-T table needs no further locking. Sim-time deltas sum
@@ -390,7 +499,16 @@ func (s *Server) runJob(j *job) {
 	// store attached, sweep cells marked "auto" replay their shared
 	// recorded world instead of re-simulating mobility (see
 	// experiment.RunSpecStore); without one, every seed runs live.
-	sums, err := experiment.RunSpecStore(j.ctx, j.spec, s.store, progress)
+	//
+	// Every daemon job runs profiled unless the spec opted out: the
+	// profiler is bit-neutral and near-free, the per-phase breakdown feeds
+	// /metrics and the job's status/terminal event, and the cacheable
+	// result bytes are stripped of timing either way (CellResultOf).
+	spec := j.spec
+	if spec.Profile == nil {
+		spec.Profile = experiment.Ptr(true)
+	}
+	sums, err := experiment.RunSpecStore(j.ctx, spec, s.store, progress)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			j.cancelled()
@@ -400,6 +518,14 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	s.simulated.Add(1)
+	// Fold the per-seed phase profiles into one job-level timing block
+	// (feeding the /metrics phase counters) before CellResultOf strips
+	// them from the cacheable result.
+	var tm *obs.Timing
+	for i := range sums {
+		tm = obs.MergeTiming(tm, sums[i].Timing)
+	}
+	s.m.noteTiming(tm)
 	res, err := experiment.CellResultOf(experiment.SweepCell{Spec: j.spec, Key: j.key}, sums)
 	if err != nil {
 		j.fail(err)
@@ -416,17 +542,18 @@ func (s *Server) runJob(j *job) {
 		j.fail(err)
 		return
 	}
-	j.finish(res, raw)
+	j.finish(res, raw, tm)
 }
 
 // jobResponse is the GET /v1/jobs/{id} reply.
 type jobResponse struct {
-	JobID  string  `json:"job_id"`
-	Key    string  `json:"key"`
-	Status string  `json:"status"`
-	Error  string  `json:"error,omitempty"`
-	Frac   float64 `json:"frac"`
-	Result *Result `json:"result,omitempty"`
+	JobID  string      `json:"job_id"`
+	Key    string      `json:"key"`
+	Status string      `json:"status"`
+	Error  string      `json:"error,omitempty"`
+	Frac   float64     `json:"frac"`
+	Result *Result     `json:"result,omitempty"`
+	Timing *obs.Timing `json:"timing,omitempty"` // engine phase breakdown (jobs that simulated here)
 }
 
 func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
@@ -454,6 +581,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		Status: string(snap.state),
 		Error:  snap.errMsg,
 		Result: snap.result,
+		Timing: snap.timing,
 	}
 	if n := len(snap.events); n > 0 {
 		resp.Frac = snap.events[n-1].Frac
@@ -474,6 +602,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, fmt.Errorf("job %s already %s", j.id, st))
 		return
 	}
+	s.log.Info("job cancel requested", "job", j.id, "key", j.key)
 	j.cancel()
 	writeJSON(w, http.StatusAccepted, map[string]string{"job_id": j.id, "status": "cancelling"})
 }
@@ -579,6 +708,7 @@ type jobSnap struct {
 	result     *Result
 	resultJSON []byte
 	errMsg     string
+	timing     *obs.Timing
 	notify     chan struct{}
 }
 
@@ -587,7 +717,7 @@ type jobSnap struct {
 func (j *job) snapshot() jobSnap {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobSnap{state: j.state, events: j.events, result: j.result, resultJSON: j.resultJSON, errMsg: j.errMsg, notify: j.notify}
+	return jobSnap{state: j.state, events: j.events, result: j.result, resultJSON: j.resultJSON, errMsg: j.errMsg, timing: j.timing, notify: j.notify}
 }
 
 func (j *job) setState(st jobState) {
@@ -627,10 +757,11 @@ func (j *job) appendProgress(p metrics.Progress) { j.publish(p) }
 
 // terminal moves the job to a final state and publishes the terminal
 // progress event. The event carries the last observed completion fraction
-// — a job that dies at 90% reports 90%, not 0 — or 1 on success.
-func (j *job) terminal(st jobState, res *Result, raw []byte, errMsg string) {
+// — a job that dies at 90% reports 90%, not 0 — or 1 on success, plus the
+// job's engine phase profile when it simulated here.
+func (j *job) terminal(st jobState, res *Result, raw []byte, errMsg string, tm *obs.Timing) {
 	j.mu.Lock()
-	p := metrics.Progress{Done: true, Error: errMsg}
+	p := metrics.Progress{Done: true, Error: errMsg, Timing: tm}
 	if n := len(j.events); n > 0 {
 		p.Frac = j.events[n-1].Frac
 	}
@@ -645,6 +776,7 @@ func (j *job) terminal(st jobState, res *Result, raw []byte, errMsg string) {
 	j.result = res
 	j.resultJSON = raw
 	j.errMsg = errMsg
+	j.timing = tm
 	j.events = append(j.events, p)
 	close(j.notify)
 	j.notify = make(chan struct{})
@@ -658,15 +790,17 @@ func (j *job) terminal(st jobState, res *Result, raw []byte, errMsg string) {
 	}
 }
 
-// finish publishes the result (and its one-time encoding) and the
-// terminal progress event.
-func (j *job) finish(res *Result, raw []byte) { j.terminal(stateDone, res, raw, "") }
+// finish publishes the result (and its one-time encoding), the job's
+// phase profile, and the terminal progress event.
+func (j *job) finish(res *Result, raw []byte, tm *obs.Timing) {
+	j.terminal(stateDone, res, raw, "", tm)
+}
 
 // fail publishes the error and the terminal progress event.
-func (j *job) fail(err error) { j.terminal(stateFailed, nil, nil, err.Error()) }
+func (j *job) fail(err error) { j.terminal(stateFailed, nil, nil, err.Error(), nil) }
 
 // cancelled publishes the cancellation terminal event.
-func (j *job) cancelled() { j.terminal(stateCancelled, nil, nil, "cancelled") }
+func (j *job) cancelled() { j.terminal(stateCancelled, nil, nil, "cancelled", nil) }
 
 // writeJSON writes one JSON reply. The returned error reports a failed or
 // short write (client gone); callers that would otherwise keep writing or
@@ -700,6 +834,7 @@ func ListenAndServe(ctx context.Context, addr string, cfg Config, ready func(add
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
+	s.log.Info("listening", "addr", ln.Addr().String(), "pprof", cfg.EnablePprof)
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -710,6 +845,7 @@ func ListenAndServe(ctx context.Context, addr string, cfg Config, ready func(add
 	}
 	// Drain: finish accepted jobs (submissions now get 503), then close
 	// idle connections and outstanding streams.
+	s.log.Info("draining")
 	drainErr := s.Drain(context.Background())
 	shutErr := hs.Shutdown(context.Background())
 	if drainErr != nil {

@@ -534,7 +534,7 @@ func TestSnapshotConsistency(t *testing.T) {
 	if snap := j.snapshot(); snap.result != nil || snap.errMsg != "" {
 		t.Fatalf("running snapshot carries outcome: %+v", snap)
 	}
-	j.finish(&Result{Seeds: []int64{1}, PerSeed: []metrics.Summary{{}}}, nil)
+	j.finish(&Result{Seeds: []int64{1}, PerSeed: []metrics.Summary{{}}}, nil, nil)
 	snap := j.snapshot()
 	if snap.state != stateDone || snap.result == nil || snap.errMsg != "" {
 		t.Fatalf("done snapshot inconsistent: %+v", snap)

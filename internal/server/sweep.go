@@ -480,7 +480,10 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	s.pruneSweepsLocked()
 	s.mu.Unlock()
 
+	s.log.Info("sweep accepted", "sweep", sw.id, "cells", len(refs), "started", len(started))
+
 	for _, j := range started {
+		s.log.Info("job accepted", "job", j.id, "key", j.key, "sweep", sw.id)
 		go s.runJob(j)
 	}
 	// Subscribe to every cell job, folding its history and every later

@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"context"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Event is a callback scheduled to fire at a simulated time.
@@ -148,9 +150,14 @@ type Ticker interface {
 // Runner drives a scenario: it alternates event processing and tick
 // callbacks at a fixed interval until the end time.
 type Runner struct {
-	Clock   Clock
-	Events  *Queue
-	Tick    float64 // tick interval in seconds, must be > 0
+	Clock  Clock
+	Events *Queue
+	Tick   float64 // tick interval in seconds, must be > 0
+	// Prof, when non-nil, books the event-queue drain between ticks
+	// under obs.PhaseEvents. Tickers that profile themselves (the
+	// network world) share the same profiler. Profiling observes wall
+	// time only; the simulation is bit-identical with or without it.
+	Prof    *obs.EngineProf
 	tickers []Ticker
 }
 
@@ -199,7 +206,9 @@ func (r *Runner) RunContext(ctx context.Context, end float64, every int, hook fu
 		if next > end {
 			next = end
 		}
+		st := r.Prof.Start()
 		r.Events.RunUntil(next)
+		r.Prof.Lap(obs.PhaseEvents, st)
 		r.Clock.advance(next)
 		for _, tk := range r.tickers {
 			tk.Tick(next)
