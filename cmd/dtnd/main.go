@@ -11,6 +11,16 @@
 //	curl -s localhost:8080/v1/jobs/j1             # status + result + engine phase timing
 //	curl -s localhost:8080/metrics                # Prometheus text metrics
 //
+// Coordinator mode fans sweep cells out across a fleet of ordinary
+// workers (see DESIGN.md "Distributed sweep fabric"):
+//
+//	dtnd -addr :8081 -cache w1-cache &            # worker 1
+//	dtnd -addr :8082 -cache w2-cache &            # worker 2
+//	dtnd -addr :8080 -cache coord-cache \
+//	     -workers http://localhost:8081,http://localhost:8082 &
+//	curl -s localhost:8080/v1/sweeps -d '{"base":{"preset":"quick"},"axes":{"protocols":["EER","CR"]}}'
+//	curl -s localhost:8080/v1/workers             # fleet registry + dispatch counters
+//
 // Logs are structured (log/slog, logfmt-style text on stderr): every job
 // and sweep lifecycle line carries its job/sweep id and cache key, so
 // `grep job=j42` reconstructs one job's history. -log-level debug adds
@@ -31,20 +41,36 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/server"
 )
 
+// splitURLs parses a comma-separated URL list flag, dropping empties.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
-		cache    = flag.String("cache", "dtnd-cache", "content-addressed result cache directory (empty disables)")
-		cacheMax = flag.Int64("cache-max-bytes", 0, "result cache size bound; oldest-mtime entries evicted past it (0 = unbounded)")
-		jobs     = flag.Int("jobs", 1, "jobs simulating concurrently (each job already fills all cores)")
-		queue    = flag.Int("queue", 64, "max accepted-but-unfinished jobs")
-		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
-		pprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/* (off by default: profiles expose internals)")
+		addr      = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		cache     = flag.String("cache", "dtnd-cache", "content-addressed result cache directory (empty disables)")
+		cacheMax  = flag.Int64("cache-max-bytes", 0, "result cache size bound; oldest-mtime entries evicted past it (0 = unbounded)")
+		jobs      = flag.Int("jobs", 1, "jobs simulating concurrently (each job already fills all cores)")
+		queue     = flag.Int("queue", 64, "max accepted-but-unfinished jobs")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		pprof     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/* (off by default: profiles expose internals)")
+		workers   = flag.String("workers", "", "comma-separated worker base URLs; non-empty runs this daemon as a fleet coordinator")
+		peers     = flag.String("peers", "", "comma-separated peer base URLs whose caches back this daemon's store (pull-through)")
+		inflight  = flag.Int("worker-inflight", 0, "jobs dispatched concurrently per worker (coordinator mode; 0 = default 2)")
+		heartbeat = flag.Duration("heartbeat", 0, "worker health-probe cadence (coordinator mode; 0 = default 1s)")
 	)
 	flag.Parse()
 
@@ -73,6 +99,10 @@ func main() {
 		MaxQueuedJobs:     *queue,
 		Logger:            logger,
 		EnablePprof:       *pprof,
+		Workers:           splitURLs(*workers),
+		Peers:             splitURLs(*peers),
+		WorkerInflight:    *inflight,
+		Heartbeat:         *heartbeat,
 	}
 	err := server.ListenAndServe(ctx, *addr, cfg, func(bound string) {
 		// Stdout line is the port-discovery contract for scripts

@@ -75,6 +75,11 @@ func main() {
 	if sl, err := loadgen.FetchServerLatency(context.Background(), nil, *url); err == nil && len(sl.Classes) > 0 {
 		fmt.Print(sl.String())
 	}
+	// Fleet cross-check: against a coordinator, show where the dispatched
+	// work went. A plain daemon (404 on /v1/workers) skips the block.
+	if fs, err := loadgen.FetchFleet(context.Background(), nil, *url); err == nil && fs != nil {
+		fmt.Print(fs.String())
+	}
 	if len(rep.Violations) > 0 {
 		os.Exit(1)
 	}

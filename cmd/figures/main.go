@@ -11,12 +11,17 @@
 //
 // Full paper parameters take tens of minutes; -quick runs a reduced but
 // shape-preserving sweep in a few minutes.
+//
+// Tables and CSV artifacts go to stdout / files; diagnostics are
+// structured log lines (log/slog, same logfmt text as dtnd) on stderr,
+// tunable with -log-level.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -27,23 +32,31 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "which figure: 2, 3, 4, a1, a2, a3 or all")
-		seeds  = flag.Int("seeds", 5, "seeds per data point (paper used 10)")
-		quick  = flag.Bool("quick", false, "reduced sweep: fewer nodes, 4000 s runs, 2 seeds")
-		csv    = flag.String("csv", "", "also write CSV data to this file prefix (e.g. fig)")
-		nodes  = flag.String("nodes", "", "override node counts, comma-separated")
-		outDur = flag.Float64("duration", 10000, "simulated seconds per run")
-		shards = flag.String("shards", "0", "per-world tick shards: a count or \"auto\" (0 = serial; summaries identical). The pool already fills all cores, so set this only for few huge runs")
-		sparse = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
-		cache  = flag.String("cache", "", "content-addressed result cache shared with dtnd and cmd/sweep; Figure-2 cells hit it (empty disables)")
-		timing = flag.Bool("timing", false, "profile the engine and print a per-figure phase breakdown (results stay bit-identical; cached cells carry no timing)")
+		fig      = flag.String("fig", "all", "which figure: 2, 3, 4, a1, a2, a3 or all")
+		seeds    = flag.Int("seeds", 5, "seeds per data point (paper used 10)")
+		quick    = flag.Bool("quick", false, "reduced sweep: fewer nodes, 4000 s runs, 2 seeds")
+		csv      = flag.String("csv", "", "also write CSV data to this file prefix (e.g. fig)")
+		nodes    = flag.String("nodes", "", "override node counts, comma-separated")
+		outDur   = flag.Float64("duration", 10000, "simulated seconds per run")
+		shards   = flag.String("shards", "0", "per-world tick shards: a count or \"auto\" (0 = serial; summaries identical). The pool already fills all cores, so set this only for few huge runs")
+		sparse   = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
+		cache    = flag.String("cache", "", "content-addressed result cache shared with dtnd and cmd/sweep; Figure-2 cells hit it (empty disables)")
+		timing   = flag.Bool("timing", false, "profile the engine and print a per-figure phase breakdown (results stay bit-identical; cached cells carry no timing)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 	profileRuns = *timing
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	shardCount, err := experiment.ParseShards(*shards)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
+		log.Error("bad -shards", "err", err)
 		os.Exit(2)
 	}
 	base := experiment.Default()
@@ -82,7 +95,7 @@ func main() {
 	if *cache != "" {
 		st, err := resultcache.Open(*cache, 0)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cache: %v\n", err)
+			log.Error("open cache", "dir", *cache, "err", err)
 			os.Exit(1)
 		}
 		store = st
@@ -110,7 +123,7 @@ func main() {
 		ablation(base, "Ablation A2 (elapsed-conditioned EMD)", []experiment.Protocol{experiment.EER, experiment.EERMeanMD}, counts, *seeds, *csv)
 		hysteresis(base, counts, *seeds, *csv)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		log.Error("unknown figure", "fig", *fig)
 		os.Exit(2)
 	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Second))
@@ -131,7 +144,7 @@ func parseInts(s string) []int {
 	for _, part := range splitComma(s) {
 		var v int
 		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
-			fmt.Fprintf(os.Stderr, "bad node count %q\n", part)
+			log.Error("bad node count", "value", part)
 			os.Exit(2)
 		}
 		out = append(out, v)
@@ -156,6 +169,10 @@ func splitComma(s string) []string {
 // profileRuns mirrors the -timing flag for the figure helpers: when set,
 // every emitted figure is followed by its aggregated engine-phase report.
 var profileRuns bool
+
+// log is the command's structured logger (stderr), set in main once
+// -log-level is parsed; the discard default keeps helpers safe in tests.
+var log = slog.New(slog.DiscardHandler)
 
 // reportTiming folds the timing blocks of every point in the series (each
 // point's mean already folds its seeds) and prints one phase breakdown for
@@ -192,7 +209,7 @@ func emit(title string, series []experiment.Series, csvPrefix, suffix string) {
 		path := csvPrefix + suffix + ".csv"
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			log.Error("write csv", "path", path, "err", err)
 			os.Exit(1)
 		}
 		experiment.WriteCSV(f, "nodes", series, experiment.PaperMetrics)
@@ -212,14 +229,14 @@ func figure2(base experiment.ScenarioSpec, counts []int, seeds int, csvPrefix st
 		protos[i] = string(p)
 	}
 	sw := experiment.SweepSpec{Base: base, Protocols: protos, Nodes: counts}
-	fmt.Fprintf(os.Stderr, "figure 2: %d simulations on all cores...\n", len(protos)*len(counts)*seeds)
+	log.Info("figure starting", "figure", "2", "simulations", len(protos)*len(counts)*seeds)
 	results, err := experiment.RunSweep(context.Background(), sw, store)
 	if err != nil && results == nil {
-		fmt.Fprintf(os.Stderr, "figure 2: %v\n", err)
+		log.Error("figure failed", "figure", "2", "err", err)
 		os.Exit(1)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "figure 2: warning: %v\n", err) // cache write failed; results are complete
+		log.Warn("cache write failed; results are complete", "figure", "2", "err", err)
 	}
 	cached := 0
 	series := make([]experiment.Series, len(protos))
@@ -235,12 +252,12 @@ func figure2(base experiment.ScenarioSpec, counts []int, seeds int, csvPrefix st
 		series[i] = se
 	}
 	if cached > 0 {
-		fmt.Fprintf(os.Stderr, "figure 2: %d/%d cells served from cache\n", cached, len(results))
+		log.Info("cells served from cache", "figure", "2", "cached", cached, "total", len(results))
 	}
 	// The protocol axis shares one recorded world per (nodes, seed): with
 	// -cache, mobility simulates once and the other protocols replay.
 	if rec, rep := experiment.TraceRecordings(), experiment.TraceReplays(); rec > 0 || rep > 0 {
-		fmt.Fprintf(os.Stderr, "figure 2: trace fast path recorded %d worlds, replayed %d runs\n", rec, rep)
+		log.Info("trace fast path", "figure", "2", "recorded_worlds", rec, "replayed_runs", rep)
 	}
 	emit("Figure 2 — protocol comparison (λ=10)", series, csvPrefix, "2")
 }
@@ -255,7 +272,7 @@ func figureLambda(base experiment.Scenario, p experiment.Protocol, title string,
 		s.Lambda = lambda
 		bases = append(bases, s)
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d simulations on all cores...\n", title, len(bases)*len(counts)*seeds)
+	log.Info("figure starting", "figure", title, "simulations", len(bases)*len(counts)*seeds)
 	series := experiment.NodeSweepMulti(bases, counts, seeds)
 	for i, lambda := range lambdas {
 		series[i].Name = fmt.Sprintf("λ=%d", lambda)
@@ -275,7 +292,7 @@ func ablation(base experiment.Scenario, title string, ps []experiment.Protocol, 
 		s.Protocol = p
 		bases = append(bases, s)
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d simulations on all cores...\n", title, len(bases)*len(counts)*seeds)
+	log.Info("figure starting", "figure", title, "simulations", len(bases)*len(counts)*seeds)
 	series := experiment.NodeSweepMulti(bases, counts, seeds)
 	emit(title, series, csvPrefix, "_"+string(ps[len(ps)-1]))
 }
@@ -297,7 +314,7 @@ func hysteresis(base experiment.Scenario, counts []int, seeds int, csvPrefix str
 		path := csvPrefix + "_a3.csv"
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			log.Error("write csv", "path", path, "err", err)
 			os.Exit(1)
 		}
 		experiment.WriteCSV(f, "hysteresis_s", series, experiment.PaperMetrics)

@@ -9,12 +9,17 @@
 // shared directory) and cells computed by a previous sweep, a figures
 // run or the daemon are read from disk instead of re-simulated, and
 // fresh cells are persisted back for them.
+//
+// Result tables go to stdout; diagnostics are structured log lines
+// (log/slog, same logfmt text as dtnd) on stderr, tunable with
+// -log-level.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
@@ -34,15 +39,23 @@ func main() {
 		shards   = flag.String("shards", "0", "per-world tick shards: a count or \"auto\" (0 = serial; summaries identical)")
 		sparse   = flag.Bool("sparse", false, "force the sparse estimator core (auto at >= 1000 nodes; summaries identical)")
 		cache    = flag.String("cache", "", "content-addressed result cache directory shared with dtnd (empty disables)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	shardCount, err := experiment.ParseShards(*shards)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
+		log.Error("bad -shards", "err", err)
 		os.Exit(2)
 	}
 	base := experiment.ScenarioSpec{
@@ -87,7 +100,7 @@ func main() {
 		}
 		label = "lambda"
 	default:
-		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
+		log.Error("unknown parameter", "param", *param)
 		os.Exit(2)
 	}
 
@@ -95,22 +108,22 @@ func main() {
 	if *cache != "" {
 		st, err := resultcache.Open(*cache, 0)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cache: %v\n", err)
+			log.Error("open cache", "dir", *cache, "err", err)
 			os.Exit(1)
 		}
 		store = st
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "sweep %s: %d simulations on %d workers...\n",
-		label, len(values)**seeds, runtime.GOMAXPROCS(0))
+	log.Info("sweep starting", "param", *param, "protocol", *protocol, "nodes", *nodes,
+		"simulations", len(values)**seeds, "workers", runtime.GOMAXPROCS(0))
 	results, err := experiment.RunSweep(context.Background(), sw, store)
 	if err != nil && results == nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		log.Error("sweep failed", "param", *param, "err", err)
 		os.Exit(1)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: warning: %v\n", err) // cache write failed; results are complete
+		log.Warn("cache write failed; results are complete", "err", err)
 	}
 	cached := 0
 	se := experiment.Series{Name: *protocol}
@@ -121,13 +134,13 @@ func main() {
 		se.Points = append(se.Points, experiment.Point{X: values[i], Summary: res.Mean})
 	}
 	if cached > 0 {
-		fmt.Fprintf(os.Stderr, "sweep %s: %d/%d cells served from cache (%s)\n", label, cached, len(results), *cache)
+		log.Info("cells served from cache", "param", *param, "cached", cached, "total", len(results), "cache", *cache)
 	}
 	// Routing/traffic-only axes share one recorded world per seed, so with
 	// -cache most cells replay the contact script instead of re-simulating
 	// mobility (see DESIGN.md "Trace record/replay").
 	if rec, rep := experiment.TraceRecordings(), experiment.TraceReplays(); rec > 0 || rep > 0 {
-		fmt.Fprintf(os.Stderr, "sweep %s: trace fast path recorded %d worlds, replayed %d runs\n", label, rec, rep)
+		log.Info("trace fast path", "param", *param, "recorded_worlds", rec, "replayed_runs", rep)
 	}
 
 	title := fmt.Sprintf("Sweep %s (%s, n=%d)", label, *protocol, *nodes)

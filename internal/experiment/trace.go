@@ -103,6 +103,38 @@ func TraceGroup(sp ScenarioSpec) (string, bool) {
 	return traceGroupKey(s), true
 }
 
+// PlacementGroups partitions specs into dispatch groups for the sweep
+// fabric: specs that share a recorded world and have a trace mode set
+// (the sweep layer marked them "auto", or the user chose record/replay)
+// must run on one worker in submission order — the first cell's live run
+// records the contact script into that worker's local store and every
+// later cell replays it. Everything else is a singleton group, free to
+// scatter across the fleet. Groups preserve first-appearance order, and
+// indices within a group preserve submission order.
+func PlacementGroups(specs []ScenarioSpec) [][]int {
+	var groups [][]int
+	byWorld := map[string]int{}
+	for i, sp := range specs {
+		world := ""
+		if sp.Trace != nil && *sp.Trace != "" {
+			if k, ok := TraceGroup(sp); ok {
+				world = k
+			}
+		}
+		if world == "" {
+			groups = append(groups, []int{i})
+			continue
+		}
+		if gi, seen := byWorld[world]; seen {
+			groups[gi] = append(groups[gi], i)
+			continue
+		}
+		byWorld[world] = len(groups)
+		groups = append(groups, []int{i})
+	}
+	return groups
+}
+
 // Process-wide trace counters, for tests and the daemon's /metrics: how
 // many worlds were recorded (live or bare) and how many runs were served
 // by replay instead of live simulation.

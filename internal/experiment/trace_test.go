@@ -438,3 +438,44 @@ func BenchmarkReplayVsLive(b *testing.B) {
 		}
 	})
 }
+
+// TestPlacementGroups pins the fabric's dispatch grouping: trace-marked
+// cells sharing a world form one group in submission order (the first
+// records, the rest replay on the same worker's store), while unmarked
+// cells and distinct worlds stay singletons free to scatter.
+func TestPlacementGroups(t *testing.T) {
+	auto := "auto"
+	proto := func(p string) *string { return &p }
+	nodes := func(n int) *int { return &n }
+
+	specs := []ScenarioSpec{
+		{Preset: "quick", Protocol: proto("EER"), Nodes: nodes(16), Trace: &auto},     // 0: world A
+		{Preset: "quick", Protocol: proto("CR"), Nodes: nodes(16), Trace: &auto},      // 1: world A (protocol excluded from world key)
+		{Preset: "quick", Protocol: proto("EER"), Nodes: nodes(24), Trace: &auto},     // 2: world B (nodes change the world)
+		{Preset: "quick", Protocol: proto("MaxProp"), Nodes: nodes(16)},               // 3: world A but unmarked — singleton
+		{Preset: "quick", Protocol: proto("MaxProp"), Nodes: nodes(16), Trace: &auto}, // 4: world A again
+		{Preset: "quick", Protocol: proto("CR"), Nodes: nodes(24), Trace: &auto},      // 5: world B again
+	}
+	got := PlacementGroups(specs)
+	want := [][]int{{0, 1, 4}, {2, 5}, {3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups %v, want %v", len(got), got, want)
+	}
+	for gi := range want {
+		if len(got[gi]) != len(want[gi]) {
+			t.Fatalf("group %d = %v, want %v", gi, got[gi], want[gi])
+		}
+		for k := range want[gi] {
+			if got[gi][k] != want[gi][k] {
+				t.Fatalf("group %d = %v, want %v", gi, got[gi], want[gi])
+			}
+		}
+	}
+
+	// An unresolvable spec never panics the partitioner: it degrades to a
+	// singleton and fails later, at job resolution.
+	bad := []ScenarioSpec{{Preset: "no-such-preset", Trace: &auto}}
+	if g := PlacementGroups(bad); len(g) != 1 || len(g[0]) != 1 || g[0][0] != 0 {
+		t.Fatalf("bad spec grouping %v", g)
+	}
+}

@@ -173,3 +173,77 @@ func TestRunConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadSmokeCoordinator drives the same mixed load through a
+// sweep-fabric coordinator backed by two in-process workers: the service
+// contract must hold across the dispatch hop (no torn statuses, no
+// duplicate simulations fleet-wide), the coordinator itself must never
+// simulate, and the fleet registry must account for every dispatch.
+func TestLoadSmokeCoordinator(t *testing.T) {
+	w1, ts1 := newDaemon(t, server.Config{})
+	w2, ts2 := newDaemon(t, server.Config{})
+	coord, ts := newDaemon(t, server.Config{
+		Workers:   []string{ts1.URL, ts2.URL},
+		Heartbeat: 100 * time.Millisecond,
+	})
+	t.Cleanup(coord.Close) // LIFO: dispatcher stops before the listeners close
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Clients:     24,
+		Requests:    200,
+		UniqueFrac:  0.15,
+		SweepFrac:   0.10,
+		StreamFrac:  0.30,
+		SharedSpecs: 5,
+		Seed:        11,
+		Warm:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.String())
+	if len(rep.Violations) > 0 {
+		t.Fatalf("protocol violations through the fabric:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Submitted < 150 {
+		t.Fatalf("only %d submissions went through: %+v", rep.Submitted, rep)
+	}
+
+	// Zero duplicates fleet-wide, and the coordinator never simulates.
+	// UniqueSpecs counts submitted specs only, so each 2-cell sweep may
+	// add up to 2 more distinct content addresses to the ceiling.
+	if coord.Simulated() != 0 {
+		t.Errorf("coordinator simulated %d jobs itself", coord.Simulated())
+	}
+	ceiling := int64(rep.UniqueSpecs) + 2*int64(rep.Sweeps.Count)
+	if got := w1.Simulated() + w2.Simulated(); got > ceiling {
+		t.Fatalf("duplicate simulations across the fleet: %d ran for at most %d distinct cells",
+			got, ceiling)
+	}
+
+	fs, err := FetchFleet(context.Background(), nil, ts.URL)
+	if err != nil || fs == nil {
+		t.Fatalf("FetchFleet: %v (fs=%v)", err, fs)
+	}
+	t.Logf("\n%s", fs.String())
+	if len(fs.Workers) != 2 {
+		t.Fatalf("fleet registry has %d workers, want 2", len(fs.Workers))
+	}
+	var dispatched, completed int64
+	for _, w := range fs.Workers {
+		if !w.Healthy {
+			t.Errorf("worker %s unhealthy after a clean run", w.URL)
+		}
+		dispatched += w.Dispatched
+		completed += w.Completed
+	}
+	if dispatched == 0 || completed != dispatched {
+		t.Errorf("dispatch accounting: dispatched=%d completed=%d", dispatched, completed)
+	}
+
+	// A plain worker is not a coordinator: FetchFleet skips it.
+	if fs, err := FetchFleet(context.Background(), nil, ts1.URL); err != nil || fs != nil {
+		t.Errorf("FetchFleet against a worker: fs=%v err=%v", fs, err)
+	}
+}

@@ -36,12 +36,26 @@ type Result struct {
 	Mean          metrics.Summary   `json:"mean"`
 }
 
+// Remote is a secondary tier consulted on local misses: another daemon's
+// store reachable over the wire (the dtnd fleet fetcher probes workers'
+// /v1/results/{key} and /v1/traces/{key}). A fetched entry is persisted
+// locally (pull-through), so each remote entry is paid for at most once
+// per store. Implementations return the encoded entry bytes verbatim;
+// the store validates results before trusting them.
+type Remote interface {
+	FetchResult(key string) ([]byte, bool)
+	FetchTrace(key string) ([]byte, bool)
+}
+
 // Store is a bounded on-disk result cache rooted at one directory. A nil
 // Store is valid and always misses — callers need no "is caching on"
 // branches.
 type Store struct {
 	dir      string
 	maxBytes int64
+	// remote is the optional pull-through tier. Set once at startup
+	// (SetRemote) before the store serves reads; never mutated after.
+	remote Remote
 
 	// mu serializes eviction sweeps (concurrent Puts would double-count
 	// sizes and race removals); reads are lock-free.
@@ -69,6 +83,13 @@ type Store struct {
 	traceHits   atomic.Int64
 	traceMisses atomic.Int64
 	tracePuts   atomic.Int64
+
+	// Remote-tier attribution: hits/misses above classify the outcome,
+	// these count how the hit was sourced — remoteHits is the subset of
+	// hits served by pull-through rather than the local directory.
+	remoteHits      atomic.Int64
+	remoteMisses    atomic.Int64
+	traceRemoteHits atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the store's counters. CurBytes is
@@ -86,6 +107,10 @@ type Stats struct {
 	TraceHits   int64 // GetTrace served a recorded contact script
 	TraceMisses int64 // GetTrace found nothing
 	TracePuts   int64 // contact scripts persisted
+
+	RemoteHits      int64 // result hits pulled through from the remote tier
+	RemoteMisses    int64 // remote probes that found nothing either
+	TraceRemoteHits int64 // trace hits pulled through from the remote tier
 }
 
 // Stats returns the store's counters. A nil store reports zeros.
@@ -107,6 +132,18 @@ func (st *Store) Stats() Stats {
 		TraceHits:    st.traceHits.Load(),
 		TraceMisses:  st.traceMisses.Load(),
 		TracePuts:    st.tracePuts.Load(),
+
+		RemoteHits:      st.remoteHits.Load(),
+		RemoteMisses:    st.remoteMisses.Load(),
+		TraceRemoteHits: st.traceRemoteHits.Load(),
+	}
+}
+
+// SetRemote attaches the pull-through tier. Call once at startup, before
+// the store serves reads; a nil store ignores it.
+func (st *Store) SetRemote(r Remote) {
+	if st != nil {
+		st.remote = r
 	}
 }
 
@@ -159,24 +196,65 @@ func (st *Store) Get(key string) (*Result, bool) {
 
 // GetRaw is Get returning the encoded file bytes alongside the parsed
 // result, so a serving path that only splices the JSON onward (the
-// daemon's cache-hit fast path) never re-encodes it.
+// daemon's cache-hit fast path) never re-encodes it. On a local miss the
+// remote tier (if attached) is probed and a validated fetch persisted
+// locally, so the whole fleet's cache serves this store transparently.
 func (st *Store) GetRaw(key string) (*Result, []byte, bool) {
+	res, data, ok := st.readLocal(key)
+	if ok {
+		st.hits.Add(1)
+		return res, data, true
+	}
+	if st == nil || st.remote == nil {
+		if st != nil && ValidKey(key) {
+			st.misses.Add(1)
+		}
+		return nil, nil, false
+	}
+	if raw, found := st.remote.FetchResult(key); found {
+		if res, data, err := st.putEncoded(key, raw); err == nil {
+			st.remoteHits.Add(1)
+			st.hits.Add(1)
+			return res, data, true
+		}
+	}
+	st.remoteMisses.Add(1)
+	st.misses.Add(1)
+	return nil, nil, false
+}
+
+// GetRawLocal is GetRaw restricted to the local directory — the read the
+// /v1/results endpoint serves peers from. Never consulting the remote
+// tier there is what makes fleet pull-through loop-free: a probe can
+// never recurse back into the prober.
+func (st *Store) GetRawLocal(key string) (*Result, []byte, bool) {
+	res, data, ok := st.readLocal(key)
+	if ok {
+		st.hits.Add(1)
+		return res, data, true
+	}
+	if st != nil && ValidKey(key) {
+		st.misses.Add(1)
+	}
+	return nil, nil, false
+}
+
+// readLocal reads and validates one entry from disk without counting — the
+// shared head of the counted read paths.
+func (st *Store) readLocal(key string) (*Result, []byte, bool) {
 	path := st.path(key)
 	if path == "" {
 		return nil, nil, false
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		st.misses.Add(1)
 		return nil, nil, false
 	}
 	var res Result
 	if json.Unmarshal(data, &res) != nil || res.Key != key {
-		st.misses.Add(1)
 		return nil, nil, false // corrupt entry: treat as a miss, recompute
 	}
 	st.touch(path)
-	st.hits.Add(1)
 	return &res, data, true
 }
 
@@ -206,6 +284,43 @@ func (st *Store) Put(res *Result) error {
 	}
 	st.puts.Add(1)
 	return nil
+}
+
+// PutEncoded persists already-encoded result bytes under key after
+// validating they decode to a Result carrying that key — the write path
+// for entries fetched from another daemon, where re-encoding would waste
+// work and could perturb byte-identical splicing. A nil store discards
+// silently.
+func (st *Store) PutEncoded(key string, data []byte) error {
+	if st == nil {
+		return nil
+	}
+	if _, _, err := st.putEncoded(key, data); err != nil {
+		return err
+	}
+	st.puts.Add(1)
+	return nil
+}
+
+// putEncoded validates and persists encoded result bytes, returning the
+// decoded result — shared by PutEncoded and the remote pull-through,
+// which counts differently (a pull-through is a read, not a Put).
+func (st *Store) putEncoded(key string, data []byte) (*Result, []byte, error) {
+	path := st.path(key)
+	if path == "" {
+		return nil, nil, fmt.Errorf("resultcache: invalid key %q", key)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, nil, fmt.Errorf("resultcache: encoded result for %s: %w", key, err)
+	}
+	if res.Key != key {
+		return nil, nil, fmt.Errorf("resultcache: encoded result claims key %s, want %s", res.Key, key)
+	}
+	if err := st.writeEntry(path, data); err != nil {
+		return nil, nil, err
+	}
+	return &res, data, nil
 }
 
 // writeEntry persists one store file atomically (temp + rename) and
@@ -267,19 +382,56 @@ func (st *Store) tracePath(key string) string {
 
 // GetTrace returns the recorded contact-script blob for key, if present.
 // The caller decodes it; a decode failure there is handled exactly like a
-// miss here (re-record), so a torn blob can never poison a replay.
+// miss here (re-record), so a torn blob can never poison a replay. On a
+// local miss the remote tier is probed and a fetch persisted locally —
+// trace blobs are opaque here, so validation is the caller's decode, same
+// as for local blobs.
 func (st *Store) GetTrace(key string) ([]byte, bool) {
+	if data, ok := st.readTraceLocal(key); ok {
+		st.traceHits.Add(1)
+		return data, true
+	}
+	if st == nil || st.remote == nil {
+		if st != nil && ValidKey(key) {
+			st.traceMisses.Add(1)
+		}
+		return nil, false
+	}
+	if data, found := st.remote.FetchTrace(key); found {
+		if path := st.tracePath(key); path != "" && st.writeEntry(path, data) == nil {
+			st.traceRemoteHits.Add(1)
+			st.traceHits.Add(1)
+			return data, true
+		}
+	}
+	st.traceMisses.Add(1)
+	return nil, false
+}
+
+// GetTraceLocal is GetTrace restricted to the local directory — what the
+// /v1/traces endpoint serves peers from, keeping pull-through loop-free.
+func (st *Store) GetTraceLocal(key string) ([]byte, bool) {
+	if data, ok := st.readTraceLocal(key); ok {
+		st.traceHits.Add(1)
+		return data, true
+	}
+	if st != nil && ValidKey(key) {
+		st.traceMisses.Add(1)
+	}
+	return nil, false
+}
+
+// readTraceLocal reads one trace blob from disk without counting.
+func (st *Store) readTraceLocal(key string) ([]byte, bool) {
 	path := st.tracePath(key)
 	if path == "" {
 		return nil, false
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		st.traceMisses.Add(1)
 		return nil, false
 	}
 	st.touch(path)
-	st.traceHits.Add(1)
 	return data, true
 }
 

@@ -1,0 +1,239 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeRemote is an in-memory Remote with call counters — the unit-test
+// stand-in for a peer daemon's /v1/results and /v1/traces endpoints.
+type fakeRemote struct {
+	mu      sync.Mutex
+	results map[string][]byte
+	traces  map[string][]byte
+
+	resultCalls atomic.Int64
+	traceCalls  atomic.Int64
+}
+
+func (fr *fakeRemote) FetchResult(key string) ([]byte, bool) {
+	fr.resultCalls.Add(1)
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	data, ok := fr.results[key]
+	return data, ok
+}
+
+func (fr *fakeRemote) FetchTrace(key string) ([]byte, bool) {
+	fr.traceCalls.Add(1)
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	data, ok := fr.traces[key]
+	return data, ok
+}
+
+func encodedResult(t *testing.T, i int) []byte {
+	t.Helper()
+	data, err := json.Marshal(resultOf(i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRemotePullThrough: a local miss with a remote hit serves the entry,
+// persists it locally (the second read never probes the remote), and is
+// attributed as a hit + remote hit — never as a miss or a put.
+func TestRemotePullThrough(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := &fakeRemote{results: map[string][]byte{keyOf(1): encodedResult(t, 1)}}
+	st.SetRemote(fr)
+
+	res, raw, ok := st.GetRaw(keyOf(1))
+	if !ok || res.Key != keyOf(1) || len(raw) == 0 {
+		t.Fatalf("pull-through read: ok=%v res=%+v", ok, res)
+	}
+	if res.Mean.Generated != 1 {
+		t.Errorf("pulled result decoded wrong: %+v", res)
+	}
+	if got, ok := st.Get(keyOf(1)); !ok || got.Key != keyOf(1) {
+		t.Fatal("entry not persisted locally after pull-through")
+	}
+	if n := fr.resultCalls.Load(); n != 1 {
+		t.Errorf("remote probed %d times, want 1 (second read is local)", n)
+	}
+	s := st.Stats()
+	if s.Hits != 2 || s.Misses != 0 || s.RemoteHits != 1 || s.RemoteMisses != 0 || s.Puts != 0 {
+		t.Errorf("stats %+v: want hits=2 misses=0 remote_hits=1 remote_misses=0 puts=0", s)
+	}
+}
+
+// TestRemoteMissCounts: a miss on both tiers counts one miss and one
+// remote miss; GetRawLocal never consults the remote at all (that is
+// what keeps fleet probes loop-free).
+func TestRemoteMissCounts(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := &fakeRemote{}
+	st.SetRemote(fr)
+
+	if _, _, ok := st.GetRaw(keyOf(2)); ok {
+		t.Fatal("unexpected hit")
+	}
+	if _, _, ok := st.GetRawLocal(keyOf(3)); ok {
+		t.Fatal("unexpected local hit")
+	}
+	if n := fr.resultCalls.Load(); n != 1 {
+		t.Errorf("remote probed %d times, want 1 (GetRawLocal must not probe)", n)
+	}
+	s := st.Stats()
+	if s.Hits != 0 || s.Misses != 2 || s.RemoteMisses != 1 {
+		t.Errorf("stats %+v: want hits=0 misses=2 remote_misses=1", s)
+	}
+}
+
+// TestRemoteCorruptFetchIsMiss: bytes from a peer are validated before
+// being trusted — an entry claiming another key (or not decoding at all)
+// is a miss, never persisted, never served.
+func TestRemoteCorruptFetchIsMiss(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRemote(&fakeRemote{results: map[string][]byte{
+		keyOf(4): encodedResult(t, 5), // claims keyOf(5)
+		keyOf(6): []byte("not json"),
+	}})
+
+	for _, key := range []string{keyOf(4), keyOf(6)} {
+		if _, _, ok := st.GetRaw(key); ok {
+			t.Errorf("corrupt remote entry for %s served as a hit", key)
+		}
+		if _, _, ok := st.GetRawLocal(key); ok {
+			t.Errorf("corrupt remote entry for %s was persisted", key)
+		}
+	}
+	if s := st.Stats(); s.Hits != 0 || s.RemoteHits != 0 || s.Misses != 4 {
+		t.Errorf("stats %+v: want 0 hits, 4 misses", s)
+	}
+}
+
+// TestRemoteTracePullThrough: trace blobs pull through like results
+// (opaque — validation is the caller's decode), with their own counters.
+func TestRemoteTracePullThrough(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("recorded-contact-script")
+	fr := &fakeRemote{traces: map[string][]byte{keyOf(7): blob}}
+	st.SetRemote(fr)
+
+	data, ok := st.GetTrace(keyOf(7))
+	if !ok || string(data) != string(blob) {
+		t.Fatalf("trace pull-through: ok=%v data=%q", ok, data)
+	}
+	if data, ok := st.GetTrace(keyOf(7)); !ok || string(data) != string(blob) {
+		t.Fatal("trace not persisted locally after pull-through")
+	}
+	if n := fr.traceCalls.Load(); n != 1 {
+		t.Errorf("remote probed %d times, want 1", n)
+	}
+	if _, ok := st.GetTrace(keyOf(8)); ok {
+		t.Fatal("unexpected trace hit")
+	}
+	s := st.Stats()
+	if s.TraceHits != 2 || s.TraceRemoteHits != 1 || s.TraceMisses != 1 || s.TracePuts != 0 {
+		t.Errorf("trace stats %+v: want hits=2 remote_hits=1 misses=1 puts=0", s)
+	}
+	// GetTraceLocal never probes the remote.
+	before := fr.traceCalls.Load()
+	if _, ok := st.GetTraceLocal(keyOf(9)); ok {
+		t.Fatal("unexpected local trace hit")
+	}
+	if fr.traceCalls.Load() != before {
+		t.Error("GetTraceLocal probed the remote")
+	}
+}
+
+// TestNilStoreRemoteSafe: SetRemote and the read paths stay nil-safe.
+func TestNilStoreRemoteSafe(t *testing.T) {
+	var st *Store
+	st.SetRemote(&fakeRemote{results: map[string][]byte{keyOf(1): encodedResult(t, 1)}})
+	if _, _, ok := st.GetRaw(keyOf(1)); ok {
+		t.Fatal("nil store served a hit")
+	}
+}
+
+// TestConcurrentPutSameKeyMidEviction hammers one key with concurrent
+// Puts while other writers overflow a tightly bounded store (forcing
+// eviction scans mid-overwrite) and readers keep re-reading the hot key.
+// The invariant: every read that succeeds decodes to an intact result
+// for that key — the atomic temp+rename write means a reader can never
+// observe a torn entry, and a Put can never evict its own result.
+func TestConcurrentPutSameKeyMidEviction(t *testing.T) {
+	size := entrySize(t)
+	st, err := Open(t.TempDir(), 4*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const rounds = 25
+	hot := resultOf(0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() { // same-key writers
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := st.Put(hot); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() { // churn writers: distinct keys overflowing the bound
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := st.Put(resultOf(1 + w*rounds + r)); err != nil {
+					t.Errorf("churn writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() { // readers of the hot key
+			defer wg.Done()
+			for r := 0; r < rounds*2; r++ {
+				if res, ok := st.Get(hot.Key); ok && res.Key != hot.Key {
+					t.Errorf("reader %d: torn read %+v", w, res)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Re-putting the hot key after the dust settles must leave it
+	// readable and intact (Put never evicts its own entry).
+	if err := st.Put(hot); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := st.Get(hot.Key)
+	if !ok || res.Key != hot.Key || res.Mean.Generated != 0 {
+		t.Fatalf("hot entry corrupt after concurrent churn: ok=%v res=%+v", ok, res)
+	}
+	if s := st.Stats(); s.Scans == 0 || s.Evictions == 0 {
+		t.Errorf("bound never enforced during churn: %+v", s)
+	}
+}

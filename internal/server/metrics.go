@@ -163,8 +163,65 @@ func (s *Server) metricDefs() []metricDef {
 			func(st resultcache.Stats) int64 { return st.Scans }),
 		stat("dtnd_cache_bytes", "Approximate result-store size (bounded stores only).", "gauge",
 			func(st resultcache.Stats) int64 { return st.CurBytes }),
+		// Fleet cache attribution: of the hits above, how many were pulled
+		// through from another daemon's store rather than found locally.
+		stat("dtnd_cache_remote_hits_total", "Result hits served by remote pull-through (another daemon's store).", "counter",
+			func(st resultcache.Stats) int64 { return st.RemoteHits }),
+		stat("dtnd_cache_remote_misses_total", "Remote-tier probes that found nothing on any peer.", "counter",
+			func(st resultcache.Stats) int64 { return st.RemoteMisses }),
+		stat("dtnd_trace_cache_remote_hits_total", "Trace hits served by remote pull-through.", "counter",
+			func(st resultcache.Stats) int64 { return st.TraceRemoteHits }),
 	)
+	// Coordinator-only families: the fleet dispatcher's aggregate state.
+	// Per-worker dispatch/retry/steal series live in writeFleetFamilies.
+	if f := s.fleet; f != nil {
+		defs = append(defs,
+			metricDef{name: "dtnd_fleet_workers", help: "Registered fleet workers.", typ: "gauge",
+				value: func() float64 { return float64(len(f.workers)) }},
+			metricDef{name: "dtnd_fleet_workers_healthy", help: "Fleet workers currently passing readiness.", typ: "gauge",
+				value: func() float64 { return float64(len(f.healthyWorkerURLs())) }},
+			metricDef{name: "dtnd_fleet_queue_depth", help: "Dispatch units waiting for a worker.", typ: "gauge",
+				value: func() float64 { return float64(f.queueDepth()) }},
+			metricDef{name: "dtnd_fleet_retries_total", help: "Dispatch units requeued after a worker infrastructure failure (work stealing).", typ: "counter",
+				value: func() float64 { return float64(f.retries.Load()) }},
+			metricDef{name: "dtnd_fleet_cached_total", help: "Fleet jobs satisfied from the tiered store at dispatch, no worker involved.", typ: "counter",
+				value: func() float64 { return float64(f.cached.Load()) }},
+		)
+	}
 	return defs
+}
+
+// writeFleetFamilies renders the per-worker labeled counter families —
+// every registered worker present from the first scrape, so rate()
+// never sees a series appear mid-flight. Coordinator mode only.
+func (s *Server) writeFleetFamilies(b *strings.Builder) {
+	f := s.fleet
+	if f == nil {
+		return
+	}
+	fam := func(name, help string, v func(*fleetWorker) int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, w := range f.workers {
+			fmt.Fprintf(b, "%s{worker=%q} %d\n", name, w.url, v(w))
+		}
+	}
+	fam("dtnd_fleet_dispatch_total", "Jobs dispatched to each worker.",
+		func(w *fleetWorker) int64 { return w.dispatched.Load() })
+	fam("dtnd_fleet_completed_total", "Jobs completed via each worker.",
+		func(w *fleetWorker) int64 { return w.completed.Load() })
+	fam("dtnd_fleet_failures_total", "Infrastructure failures observed on each worker.",
+		func(w *fleetWorker) int64 { return w.failures.Load() })
+	fam("dtnd_fleet_steals_total", "Requeued (stolen) units each worker picked up.",
+		func(w *fleetWorker) int64 { return w.steals.Load() })
+	const hname = "dtnd_fleet_worker_healthy"
+	fmt.Fprintf(b, "# HELP %s Per-worker readiness (1 healthy, 0 down).\n# TYPE %s gauge\n", hname, hname)
+	for _, w := range f.workers {
+		v := 0
+		if w.healthy.Load() {
+			v = 1
+		}
+		fmt.Fprintf(b, "%s{worker=%q} %d\n", hname, w.url, v)
+	}
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format.
@@ -174,6 +231,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", d.name, d.help, d.name, d.typ, d.name, d.value())
 	}
 	s.writePhaseFamily(&b)
+	s.writeFleetFamilies(&b)
 	s.writeHistograms(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

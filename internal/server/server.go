@@ -37,6 +37,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +78,22 @@ type Config struct {
 	// listener. Off by default: the daemon may face untrusted clients,
 	// and profiles leak timing/heap internals.
 	EnablePprof bool
+
+	// Workers turns the daemon into a coordinator: accepted jobs are
+	// dispatched to these base URLs (ordinary dtnd workers, spoken to
+	// over the public job API) instead of the local engine. Empty means
+	// plain worker/standalone mode. See fabric.go.
+	Workers []string
+	// Peers are base URLs whose result stores back this daemon's store as
+	// a remote pull-through tier (a coordinator's workers are probed
+	// implicitly; Peers adds static extras, e.g. sibling workers).
+	Peers []string
+	// WorkerInflight bounds jobs dispatched concurrently per worker
+	// (default 2: one running under the worker's single permit, one
+	// queued behind it so the worker never idles between cells).
+	WorkerInflight int
+	// Heartbeat is the worker health-probe cadence (default 1s).
+	Heartbeat time.Duration
 }
 
 // jobState is the lifecycle of a submitted job.
@@ -144,6 +163,7 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	store *resultcache.Store // nil when caching is disabled
+	fleet *fleet             // nil unless coordinator mode (Config.Workers)
 
 	mu        sync.Mutex
 	jobs      map[string]*job // by job id
@@ -196,8 +216,32 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = st
 	}
+	if len(cfg.Workers) > 0 {
+		s.fleet = newFleet(s, cfg)
+	}
+	// Back the local store with the fleet's stores: on a local miss, the
+	// coordinator probes its healthy workers (plus any static peers), a
+	// plain worker probes its configured peers. Pull-through persists
+	// fetches locally, so any daemon's cached cell or recorded trace
+	// serves the whole fleet exactly once over the wire.
+	if s.store != nil && (s.fleet != nil || len(cfg.Peers) > 0) {
+		peers := make([]string, 0, len(cfg.Peers))
+		for _, p := range cfg.Peers {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		s.store.SetRemote(&remoteTier{client: &http.Client{}, peers: func() []string {
+			var urls []string
+			if s.fleet != nil {
+				urls = s.fleet.healthyWorkerURLs()
+			}
+			return append(urls, peers...)
+		}})
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -206,12 +250,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleSweepStream)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/traces/{key}", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /v1/healthz", s.handleReady)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -313,6 +360,16 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
+// Close releases the server's background resources — in coordinator mode
+// the fleet's runner and heartbeat goroutines. Call after Drain (a
+// drained coordinator's dispatch queue is empty); a fleetless server
+// no-ops.
+func (s *Server) Close() {
+	if s.fleet != nil {
+		s.fleet.close()
+	}
+}
+
 // submitResponse is the POST /v1/jobs reply.
 type submitResponse struct {
 	JobID  string  `json:"job_id,omitempty"`
@@ -403,7 +460,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.log.Info("job accepted", "job", j.id, "key", key)
-	go s.runJob(j)
+	s.startJob(j)
 	writeJSON(w, http.StatusAccepted, submitResponse{JobID: j.id, Key: key, Status: string(stateQueued)})
 }
 
@@ -434,31 +491,38 @@ func (s *Server) newJobLocked(key string, spec experiment.ScenarioSpec) *job {
 	return j
 }
 
-// runJob executes one accepted job: wait for a concurrency permit (or
-// cancellation — a cancelled queued job never takes a permit), simulate
-// with live progress, persist and publish the result.
+// jobDone releases a terminal job's server bookkeeping — the one
+// completion path shared by the local executor (runJob) and the fleet
+// dispatcher, called exactly once per accepted job, after the job
+// reached a terminal state.
+func (s *Server) jobDone(j *job) {
+	s.mu.Lock()
+	// A fresh submission may have replaced a cancelled job's active
+	// entry while it drained; only remove the entry if it is still
+	// ours.
+	if s.active[j.key] == j {
+		delete(s.active, j.key)
+	}
+	s.queued--
+	// Retention: keep the most recent finished jobs addressable by id
+	// (status/stream replay), dropping the oldest beyond the ring so a
+	// long-lived daemon's per-job state is bounded. Their results stay
+	// servable forever through the on-disk cache by key.
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > maxRetainedJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// runJob executes one accepted job on the local engine: wait for a
+// concurrency permit (or cancellation — a cancelled queued job never
+// takes a permit), simulate with live progress, persist and publish the
+// result.
 func (s *Server) runJob(j *job) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		// A fresh submission may have replaced a cancelled job's active
-		// entry while it drained; only remove the entry if it is still
-		// ours.
-		if s.active[j.key] == j {
-			delete(s.active, j.key)
-		}
-		s.queued--
-		// Retention: keep the most recent finished jobs addressable by id
-		// (status/stream replay), dropping the oldest beyond the ring so a
-		// long-lived daemon's per-job state is bounded. Their results stay
-		// servable forever through the on-disk cache by key.
-		s.finished = append(s.finished, j.id)
-		for len(s.finished) > maxRetainedJobs {
-			delete(s.jobs, s.finished[0])
-			s.finished = s.finished[1:]
-		}
-		s.mu.Unlock()
-	}()
+	defer s.jobDone(j)
 	// Spec validation screens known-bad shapes, but the engine panics on
 	// combinations nobody has tried yet; contain those to the one job
 	// instead of killing the daemon (and every queued job) with it.
@@ -659,15 +723,105 @@ func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, snapshot func()
 	}
 }
 
+// handleResult serves a cached result by content address. The read is
+// local-only: this is the endpoint the fleet's pull-through tier probes,
+// and a local-only serve guarantees probes cannot recurse peer-to-peer.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	if _, raw, ok := s.store.GetRaw(key); ok {
+	if _, raw, ok := s.store.GetRawLocal(key); ok {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(raw) // the store file is the reply: already indented JSON
 		return
 	}
 	writeErr(w, http.StatusNotFound, fmt.Errorf("no cached result for %s", key))
+}
+
+// handleTrace serves a recorded contact-script blob by trace content
+// address — local-only, like handleResult, for the same loop-freedom.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if data, ok := s.store.GetTraceLocal(key); ok {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+		return
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("no recorded trace for %s", key))
+}
+
+// handleReady serves GET /v1/healthz, the readiness probe the fleet
+// registry and load balancers poll: 200 while accepting work, 503 once
+// draining — a draining worker leaves the dispatch rotation before its
+// listener closes. (GET /healthz remains pure liveness: 200 until the
+// process dies.)
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// jobListEntry is one row of GET /v1/jobs: the job's identity and
+// aggregate progress, without its result payload.
+type jobListEntry struct {
+	JobID  string  `json:"job_id"`
+	Key    string  `json:"key"`
+	Status string  `json:"status"`
+	Frac   float64 `json:"frac"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// jobListResponse is the GET /v1/jobs reply: every retained job in
+// creation order. Total counts before pagination; Jobs holds the
+// requested window.
+type jobListResponse struct {
+	Total  int            `json:"total"`
+	Offset int            `json:"offset,omitempty"`
+	Jobs   []jobListEntry `json:"jobs"`
+}
+
+// handleJobList serves GET /v1/jobs — the jobs-side twin of the sweep
+// listing, with the same ?offset/limit pagination. Rows are ordered by
+// creation (job ids are sequential); the retention ring bounds the list,
+// and dropped jobs' results remain addressable through the store by key.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	all := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, k int) bool {
+		a, _ := strconv.Atoi(strings.TrimPrefix(all[i].id, "j"))
+		b, _ := strconv.Atoi(strings.TrimPrefix(all[k].id, "j"))
+		return a < b
+	})
+	total := len(all)
+	offset = min(offset, total)
+	end := total
+	if limit >= 0 && offset+limit < end {
+		end = offset + limit
+	}
+	rows := make([]jobListEntry, 0, end-offset)
+	for _, j := range all[offset:end] {
+		snap := j.snapshot()
+		e := jobListEntry{JobID: j.id, Key: j.key, Status: string(snap.state), Error: snap.errMsg}
+		if n := len(snap.events); n > 0 {
+			e.Frac = snap.events[n-1].Frac
+		}
+		rows = append(rows, e)
+	}
+	writeJSON(w, http.StatusOK, jobListResponse{Total: total, Offset: offset, Jobs: rows})
 }
 
 // writeCachedResult writes the submit fast-path reply — submitResponse
@@ -848,6 +1002,7 @@ func ListenAndServe(ctx context.Context, addr string, cfg Config, ready func(add
 	s.log.Info("draining")
 	drainErr := s.Drain(context.Background())
 	shutErr := hs.Shutdown(context.Background())
+	s.Close()
 	if drainErr != nil {
 		return drainErr
 	}

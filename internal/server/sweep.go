@@ -484,8 +484,11 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 
 	for _, j := range started {
 		s.log.Info("job accepted", "job", j.id, "key", j.key, "sweep", sw.id)
-		go s.runJob(j)
 	}
+	// Launch: locally, or — on a coordinator — partitioned into dispatch
+	// units that keep each trace group's record-then-replay chain on one
+	// worker (see fabric.go).
+	s.startJobs(started)
 	// Subscribe to every cell job, folding its history and every later
 	// event into the aggregate, then seal — which emits the terminal
 	// event right away when every cell was already satisfied.
